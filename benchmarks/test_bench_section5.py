@@ -1,0 +1,71 @@
+"""Section 5 — the Figure 2 translation is not implementable.
+
+Times the Figure 3 translation ``Q+`` against the Figure 2 ``Qt`` on the
+Section 6 example query for growing instances, and regenerates the
+feasibility table (Q+ linear-ish, Qt quadratic until it trips the row
+budget — the paper saw out-of-memory below 10³ tuples).
+"""
+
+import pytest
+
+from repro.algebra.evaluate import Evaluator
+from repro.experiments.infeasible import (
+    make_rst_database,
+    run_infeasibility_experiment,
+    section6_example_query,
+)
+from repro.experiments.report import render_table
+from repro.translate.improved import certain_query
+from repro.translate.libkin import translate_libkin
+
+
+@pytest.mark.parametrize("size", [25, 50])
+def test_q_plus_evaluation(benchmark, size):
+    benchmark.group = f"section5-{size}"
+    db = make_rst_database(size, null_rate=0.1, seed=9)
+    plus = certain_query(section6_example_query())
+    benchmark(lambda: Evaluator(db, semantics="naive").evaluate(plus))
+
+
+@pytest.mark.parametrize("size", [25])
+def test_qt_evaluation(benchmark, size):
+    # One round only: Qt is three orders of magnitude slower than Q+
+    # already at 25 tuples per relation (and ~10^4x at 50).
+    benchmark.group = f"section5-{size}"
+    db = make_rst_database(size, null_rate=0.1, seed=9)
+    qt, _qf = translate_libkin(section6_example_query(), db)
+    benchmark.pedantic(
+        lambda: Evaluator(db, semantics="naive").evaluate(qt), rounds=1, iterations=1
+    )
+
+
+def test_section5_regeneration(benchmark):
+    def experiment():
+        return run_infeasibility_experiment(
+            sizes=(10, 25, 50, 100), budget=300_000, null_rate=0.1, seed=1
+        )
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = [
+        [
+            str(r["size"]),
+            f"{r['plus_time'] * 1000:.1f}",
+            str(r["plus_rows"]),
+            f"{r['libkin_time'] * 1000:.1f}",
+            str(r["libkin_rows"]),
+            "BUDGET EXCEEDED" if r["libkin_failed"] else "ok",
+        ]
+        for r in results
+    ]
+    print()
+    print(render_table(
+        "Section 5 — Q+ (Figure 3) vs Qt (Figure 2) on the Section 6 example",
+        ["n", "Q+ ms", "Q+ rows", "Qt ms", "Qt rows", "Qt status"],
+        rows,
+    ))
+
+    # Q+ stays small; Qt fails well below 10³ tuples per relation.
+    assert all(r["plus_rows"] < 10_000 for r in results)
+    assert any(r["libkin_failed"] for r in results)
+    failed_at = min(r["size"] for r in results if r["libkin_failed"])
+    assert failed_at <= 200  # "fewer than 10³ tuples", reproduced

@@ -1,0 +1,58 @@
+"""Direct SQL-to-SQL rewriting on the paper's four queries.
+
+Shows each pass of the rewriter (Section 6 translation + the Section 7
+tuning) on Q1–Q4 and compares the automatic output with the paper's
+appendix rewrites on a generated instance: the SQL differs only
+cosmetically and the answers are identical.
+
+Run:  python examples/direct_sql_rewriting.py [Q1|Q2|Q3|Q4]
+"""
+
+import random
+import sys
+
+from repro import RewriteOptions, certain_rewrite, execute_sql, parse_sql, to_sql
+from repro.tpch import (
+    QUERIES,
+    generate_small_instance,
+    inject_nulls,
+    sample_parameters,
+    tpch_schema,
+)
+
+
+def show(qid: str) -> None:
+    schema = tpch_schema()
+    original_sql, appendix_sql, _names = QUERIES[qid]
+    original = parse_sql(original_sql)
+
+    print(f"======== {qid}: original ========")
+    print(to_sql(original))
+
+    weakened = certain_rewrite(
+        original, schema, RewriteOptions(split="never", fold_views="never")
+    )
+    print(f"\n-------- pass 1 only: θ**-weakened NOT EXISTS --------")
+    print(to_sql(weakened))
+
+    full = certain_rewrite(original, schema)
+    print(f"\n-------- all passes (view folding + splitting) --------")
+    print(to_sql(full))
+
+    # Compare with the paper's appendix rewrite on data.
+    rng = random.Random(1)
+    db = inject_nulls(generate_small_instance(scale=0.1, seed=3), 0.05, seed=4)
+    params = sample_parameters(qid, db, rng=rng)
+    auto_rows = set(execute_sql(db, full, params).rows)
+    hand_rows = set(execute_sql(db, parse_sql(appendix_sql), params).rows)
+    print(
+        f"\nanswers on a 5%-null instance: automatic={len(auto_rows)}, "
+        f"appendix={len(hand_rows)}, equal={auto_rows == hand_rows}"
+    )
+    print()
+
+
+if __name__ == "__main__":
+    targets = sys.argv[1:] or ["Q1", "Q2", "Q3", "Q4"]
+    for qid in targets:
+        show(qid.upper())

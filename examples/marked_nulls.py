@@ -1,0 +1,115 @@
+"""Marked nulls vs SQL nulls (Sections 2, 6 and 7).
+
+Demonstrates the subtleties the paper discusses:
+
+* tuple unification (Definition 2) with repeated (marked) nulls;
+* SQL nulls are weaker than Codd nulls: a self-join on a null column
+  loses tuples under SQL evaluation but not under naive evaluation
+  (the Section 7 example);
+* the two Section 6 examples showing ``Q+`` and SQL evaluation are
+  incomparable;
+* certain answers *with nulls* versus the classical null-free notion.
+
+Run:  python examples/marked_nulls.py
+"""
+
+from repro import Database, Null, Relation, certain_answers_with_nulls, evaluate
+from repro.algebra import (
+    Difference,
+    Intersection,
+    RelationRef,
+    Selection,
+    eq,
+)
+from repro.algebra.unify import unifiable, unify_rows
+from repro.translate import translate_improved
+
+
+def unification_demo() -> None:
+    print("=== Tuple unification (Definition 2) ===")
+    x, y = Null("x"), Null("y")
+    pairs = [
+        ((1, x), (1, 2)),
+        ((x, x), (1, 2)),   # repeated null cannot be both 1 and 2
+        ((x, y), (1, 2)),
+        ((1, x), (2, x)),   # constants clash
+    ]
+    for r, s in pairs:
+        print(f"  {r} ⇑ {s} ?  {unifiable(r, s)}   unifier: {unify_rows(r, s)}")
+    print()
+
+
+def selfjoin_demo() -> None:
+    print("=== SQL nulls are weaker than Codd nulls (Section 7) ===")
+    bottom = Null("b")
+    db = Database({"r": Relation(("a",), [(bottom,)])})
+    # σ_{A=A'}(R × ρ(R)) — the self-join on the null column.
+    from repro.algebra import Product, Projection, Rename
+
+    join = Projection(
+        Selection(
+            Product(RelationRef("r"), Rename(RelationRef("r"), {"a": "a2"})),
+            eq("a", "a2"),
+        ),
+        ("a",),
+    )
+    print("  naive (Codd) evaluation of R ⋈ R:", list(evaluate(join, db, "naive")))
+    print("  SQL 3VL evaluation of R ⋈ R:   ", list(evaluate(join, db, "sql")))
+    print("  → SQL cannot recognise a null as equal to itself, hence the")
+    print("    SQL-adjusted condition translations of Section 7.")
+    print()
+
+
+def incomparability_demo() -> None:
+    print("=== Q+ and SQL evaluation are incomparable (Section 6) ===")
+    # D1: R = {(1,2),(2,⊥)}, S = {(1,2),(⊥,2)}, T = {(1,2)}; Q1 = R − (S ∩ T).
+    b1, b2 = Null(), Null()
+    d1 = Database(
+        {
+            "r": Relation(("a", "b"), [(1, 2), (2, b1)]),
+            "s": Relation(("a", "b"), [(1, 2), (b2, 2)]),
+            "t": Relation(("a", "b"), [(1, 2)]),
+        }
+    )
+    q1 = Difference(RelationRef("r"), Intersection(RelationRef("s"), RelationRef("t")))
+    plus, _poss = translate_improved(q1)
+    print("  D1, Q1 = R − (S ∩ T):")
+    print("    SQL evaluation:  ", list(evaluate(q1, d1, "sql")))
+    print("    Q+ evaluation:   ", list(evaluate(plus, d1, "naive")))
+    print("    certain answers: ", list(certain_answers_with_nulls(q1, d1)))
+    print("    → SQL keeps the certain answer (2,⊥) that Q+ misses.")
+
+    # D2: R = {(⊥,⊥)} with the same null twice; Q2 = σ_{A=B}(R).
+    b = Null("same")
+    d2 = Database({"r": Relation(("a", "b"), [(b, b)])})
+    q2 = Selection(RelationRef("r"), eq("a", "b"))
+    plus2, _ = translate_improved(q2)  # marked-null translation
+    plus2_sql, _ = translate_improved(q2, sql_adjusted=True)
+    print("  D2, Q2 = σ_{A=B}(R) with R = {(⊥,⊥)}, the same marked null:")
+    print("    SQL evaluation:            ", list(evaluate(q2, d2, "sql")))
+    print("    Q+ (marked nulls):         ", list(evaluate(plus2, d2, "naive")))
+    print("    Q+ (SQL-adjusted):         ", list(evaluate(plus2_sql, d2, "naive")))
+    print("    → with marked nulls Q+ proves (⊥,⊥) certain; SQL cannot.")
+    print()
+
+
+def certain_with_nulls_demo() -> None:
+    print("=== Certain answers with nulls (Section 2) ===")
+    bottom = Null()
+    db = Database({"r": Relation(("a", "b"), [(1, bottom), (2, 3)])})
+    identity = RelationRef("r")
+    with_nulls = certain_answers_with_nulls(identity, db)
+    from repro.certain import certain_answers
+
+    classical = certain_answers(identity, db)
+    print("  R =", list(db["r"]))
+    print("  certain answers with nulls:", list(with_nulls))
+    print("  classical certain answers: ", list(classical))
+    print("  → the classical notion loses (1,⊥); the paper's notion keeps it.")
+
+
+if __name__ == "__main__":
+    unification_demo()
+    selfjoin_demo()
+    incomparability_demo()
+    certain_with_nulls_demo()

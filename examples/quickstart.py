@@ -1,0 +1,89 @@
+"""Quickstart: SQL's wrong answers on nulls, and how to fix them.
+
+Reproduces the paper's introductory example: the difference ``R − S``
+with ``R = {1}`` and ``S = {NULL}``.  SQL returns ``{1}`` — a *false
+positive*, since interpreting the null as 1 makes the difference empty —
+while the certain-answer rewriting returns nothing, and brute-force
+certain answers confirm it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Database,
+    DatabaseSchema,
+    Null,
+    Relation,
+    certain_answers_with_nulls,
+    certain_rewrite,
+    execute_sql,
+    make_schema,
+    parse_sql,
+    to_sql,
+)
+from repro.algebra import Difference, RelationRef, evaluate
+
+
+def main() -> None:
+    # An incomplete database: R = {1}, S = {NULL}.
+    db = Database(
+        {
+            "r": Relation(("a",), [(1,)]),
+            "s": Relation(("a",), [(Null(),)]),
+        }
+    )
+    schema = DatabaseSchema()
+    schema.add(make_schema("r", [("a", "int")]))
+    schema.add(make_schema("s", [("a", "int")]))
+
+    query = """
+        SELECT a FROM r
+        WHERE NOT EXISTS (SELECT * FROM s WHERE s.a = r.a)
+    """
+
+    print("Database:")
+    print("  R =", list(db["r"]))
+    print("  S =", list(db["s"]))
+    print()
+
+    # 1. Standard SQL evaluation (three-valued logic): a wrong answer.
+    sql_answers = execute_sql(db, query)
+    print("SQL evaluation of R − S:", list(sql_answers))
+    print("  → (1,) is a FALSE POSITIVE: if the null is 1, R − S is empty.")
+    print()
+
+    # 2. Ground truth: certain answers by brute force over valuations.
+    algebra = Difference(RelationRef("r"), RelationRef("s"))
+    certain = certain_answers_with_nulls(algebra, db)
+    print("Certain answers (brute force):", list(certain))
+    print()
+
+    # 3. The paper's fix: rewrite the query, keep the same engine.
+    rewritten = certain_rewrite(query, schema)
+    print("Rewritten query Q+:")
+    print(to_sql(rewritten))
+    print()
+    print("Evaluation of Q+:", list(execute_sql(db, rewritten)))
+    print()
+
+    # 4. On complete databases the rewriting changes nothing.
+    complete = Database(
+        {
+            "r": Relation(("a",), [(1,), (2,)]),
+            "s": Relation(("a",), [(2,)]),
+        }
+    )
+    original = execute_sql(complete, query)
+    plus = execute_sql(complete, rewritten)
+    print("On a complete database: Q =", list(original), " Q+ =", list(plus))
+    assert set(original.rows) == set(plus.rows)
+
+    # 5. The naive-evaluation contrast (Fact 1): positive queries are
+    # already correct without rewriting.
+    positive = "SELECT r.a FROM r, s WHERE r.a = s.a"
+    print("Positive query under SQL evaluation:", list(execute_sql(db, positive)))
+    print("  → no false positives are possible for positive queries (Fact 2).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` needs ``bdist_wheel`` under PEP 517; offline boxes
+without the ``wheel`` distribution can instead run
+``python setup.py develop`` (which this file enables) — the test and
+benchmark instructions in the README work either way.
+"""
+
+from setuptools import setup
+
+setup()

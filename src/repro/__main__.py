@@ -1,0 +1,142 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands regenerate the paper's artefacts or apply the rewriter to
+ad-hoc SQL against the TPC-H schema:
+
+* ``figure1``  — false-positive percentages (Section 4, Figure 1)
+* ``figure4``  — price of correctness (Section 7, Figure 4)
+* ``table1``   — relative performance across sizes (Table 1)
+* ``section5`` — Figure 2 vs Figure 3 feasibility
+* ``recall``   — precision/recall of the rewritten queries
+* ``rewrite``  — print the certain-answer rewriting ``Q+`` of a query
+* ``explain``  — cost-annotated plan of a query on a generated instance
+
+Each experiment accepts ``--paper-scale`` for settings closer to the
+paper's (slower) and a ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_figure1(args) -> int:
+    from repro.experiments import falsepos
+
+    falsepos.main(paper_scale=args.paper_scale)
+    return 0
+
+
+def _cmd_figure4(args) -> int:
+    from repro.experiments import performance
+
+    performance.main()
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    from repro.experiments import scaling
+
+    scaling.main()
+    return 0
+
+
+def _cmd_section5(args) -> int:
+    from repro.experiments import infeasible
+
+    infeasible.main()
+    return 0
+
+
+def _cmd_recall(args) -> int:
+    from repro.experiments import recall
+
+    recall.main()
+    return 0
+
+
+def _cmd_rewrite(args) -> int:
+    from repro.sql.parser import parse_sql
+    from repro.sql.printer import to_sql
+    from repro.sql.rewrite import RewriteOptions, rewrite_certain
+    from repro.tpch.schema import tpch_schema
+
+    sql = args.sql or sys.stdin.read()
+    options = RewriteOptions(
+        split=args.split, fold_views=args.fold_views, union_views=not args.no_union_views
+    )
+    rewritten = rewrite_certain(parse_sql(sql), tpch_schema(), options)
+    print(to_sql(rewritten))
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    import random
+
+    from repro.engine import explain_sql
+    from repro.tpch.dbgen import generate_instance
+    from repro.tpch.nullify import inject_nulls
+    from repro.tpch.queries import QUERIES, sample_parameters
+
+    db = inject_nulls(
+        generate_instance(scale=args.scale, seed=args.seed),
+        args.null_rate,
+        seed=args.seed + 1,
+    )
+    if args.sql in QUERIES:
+        sql = QUERIES[args.sql][0]
+        params = sample_parameters(args.sql, db, rng=random.Random(args.seed))
+    else:
+        sql = args.sql or sys.stdin.read()
+        params = {}
+    print(explain_sql(db, sql, params))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Guagliardo & Libkin, PODS 2016",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, handler, doc in [
+        ("figure1", _cmd_figure1, "false-positive rates (Figure 1)"),
+        ("figure4", _cmd_figure4, "price of correctness (Figure 4)"),
+        ("table1", _cmd_table1, "scaling of the ratio (Table 1)"),
+        ("section5", _cmd_section5, "Figure 2 infeasibility (Section 5)"),
+        ("recall", _cmd_recall, "precision/recall (Section 7)"),
+    ]:
+        p = sub.add_parser(name, help=doc)
+        p.add_argument(
+            "--paper-scale",
+            action="store_true",
+            help="use settings close to the paper's (much slower)",
+        )
+        p.set_defaults(handler=handler)
+
+    p = sub.add_parser("rewrite", help="rewrite SQL into its certain-answer Q+")
+    p.add_argument("sql", nargs="?", help="SQL text (stdin if omitted)")
+    p.add_argument("--split", default="auto", choices=["never", "auto", "always"])
+    p.add_argument("--fold-views", default="auto", choices=["never", "auto"])
+    p.add_argument("--no-union-views", action="store_true")
+    p.set_defaults(handler=_cmd_rewrite)
+
+    p = sub.add_parser("explain", help="EXPLAIN a query on a generated instance")
+    p.add_argument("sql", nargs="?", help="SQL text, or Q1..Q4 (stdin if omitted)")
+    p.add_argument("--scale", type=float, default=0.5)
+    p.add_argument("--null-rate", type=float, default=0.03)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(handler=_cmd_explain)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

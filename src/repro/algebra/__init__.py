@@ -1,0 +1,94 @@
+"""Relational algebra over incomplete databases.
+
+This package provides the query language of the paper (Section 2): the
+standard operations σ, π, ×, ∪, −, ∩ (plus derived join, division and
+the unification semijoins of Definition 4), a positive-closed condition
+language with ``const(A)`` / ``null(A)`` predicates, and two evaluation
+semantics:
+
+* ``naive``  — nulls behave like ordinary values; ``⊥ = ⊥'`` holds iff
+  the two marked nulls are the same element of ``Null`` (Fact 1);
+* ``sql``    — SQL's three-valued logic, where comparisons touching a
+  null evaluate to *unknown* (Fact 2, ``EvalSQL``).
+"""
+
+from repro.algebra.conditions import (
+    Attr,
+    Const,
+    Comparison,
+    NullTest,
+    And,
+    Or,
+    Not,
+    TrueCond,
+    FalseCond,
+    Condition,
+    attrs_in,
+    eq,
+    neq,
+    negate,
+)
+from repro.algebra.expr import (
+    AdomPower,
+    AntiJoin,
+    Difference,
+    Division,
+    Expr,
+    Intersection,
+    Join,
+    Literal,
+    Product,
+    Projection,
+    RelationRef,
+    Rename,
+    Selection,
+    SemiJoin,
+    Union,
+    UnifAntiJoin,
+    UnifSemiJoin,
+)
+from repro.algebra.evaluate import evaluate, EvaluationBudgetExceeded
+from repro.algebra.threevl import ThreeValued, TRUE, FALSE, UNKNOWN
+from repro.algebra.unify import unifiable, unify_rows
+
+__all__ = [
+    "Attr",
+    "Const",
+    "Comparison",
+    "NullTest",
+    "And",
+    "Or",
+    "Not",
+    "TrueCond",
+    "FalseCond",
+    "Condition",
+    "attrs_in",
+    "eq",
+    "neq",
+    "negate",
+    "AdomPower",
+    "AntiJoin",
+    "Difference",
+    "Division",
+    "Expr",
+    "Intersection",
+    "Join",
+    "Literal",
+    "Product",
+    "Projection",
+    "RelationRef",
+    "Rename",
+    "Selection",
+    "SemiJoin",
+    "Union",
+    "UnifAntiJoin",
+    "UnifSemiJoin",
+    "evaluate",
+    "EvaluationBudgetExceeded",
+    "ThreeValued",
+    "TRUE",
+    "FALSE",
+    "UNKNOWN",
+    "unifiable",
+    "unify_rows",
+]

@@ -1,0 +1,288 @@
+"""Reference evaluator for relational algebra over incomplete databases.
+
+This is the *specification* evaluator: small, direct, and obviously
+faithful to the paper's definitions.  Performance-sensitive execution of
+SQL (TPC-H scale) lives in :mod:`repro.engine`; correctness tests check
+the two against each other on small instances.
+
+Two semantics are supported (Section 2):
+
+* ``naive`` — marked nulls behave as ordinary domain values
+  (Fact 1: computes exactly certain answers with nulls for the
+  positive fragment, including division);
+* ``sql`` — three-valued ``EvalSQL`` (Fact 2: correctness guarantees
+  for the positive fragment only).
+
+An optional row budget turns the Section 5 blow-up of the Figure 2
+translation into a catchable :class:`EvaluationBudgetExceeded` instead
+of an out-of-memory condition.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.algebra import conditions as C
+from repro.algebra.expr import (
+    AdomPower,
+    AntiJoin,
+    Difference,
+    Division,
+    Expr,
+    Intersection,
+    Join,
+    Literal,
+    Product,
+    Projection,
+    RelationRef,
+    Rename,
+    Selection,
+    SemiJoin,
+    Union,
+    UnifAntiJoin,
+    UnifSemiJoin,
+)
+from repro.algebra.unify import positionwise_unifiable, unifiable
+from repro.data.database import Database
+from repro.data.relation import Relation
+
+__all__ = ["evaluate", "EvaluationBudgetExceeded", "Evaluator"]
+
+SEMANTICS = ("naive", "sql")
+
+
+class EvaluationBudgetExceeded(RuntimeError):
+    """An intermediate result exceeded the configured row budget."""
+
+    def __init__(self, budget: int, at: str):
+        super().__init__(
+            f"intermediate result exceeded the budget of {budget} rows at {at}"
+        )
+        self.budget = budget
+        self.at = at
+
+
+class Evaluator:
+    """Evaluates algebra expressions against one database."""
+
+    def __init__(
+        self,
+        db: Database,
+        semantics: str = "naive",
+        max_rows: Optional[int] = None,
+    ):
+        if semantics not in SEMANTICS:
+            raise ValueError(f"semantics must be one of {SEMANTICS}, got {semantics!r}")
+        self.db = db
+        self.semantics = semantics
+        self.max_rows = max_rows
+        self._adom_cache: Optional[List[object]] = None
+        # Running count of rows materialised, for the Section 5 budget.
+        self.rows_produced = 0
+
+    # ------------------------------------------------------------------
+    def adom(self) -> List[object]:
+        if self._adom_cache is None:
+            values = self.db.active_domain()
+            self._adom_cache = sorted(values, key=repr)
+        return self._adom_cache
+
+    def _charge(self, n: int, at: str) -> None:
+        self.rows_produced += n
+        if self.max_rows is not None and self.rows_produced > self.max_rows:
+            raise EvaluationBudgetExceeded(self.max_rows, at)
+
+    def _selected(self, cond: C.Condition, row_ctx: Dict[str, object]) -> bool:
+        if self.semantics == "naive":
+            return C.eval_naive(cond, row_ctx)
+        return bool(C.eval_3vl(cond, row_ctx))
+
+    # ------------------------------------------------------------------
+    def evaluate(self, expr: Expr) -> Relation:
+        result = self._eval(expr)
+        return result.distinct()
+
+    def _eval(self, expr: Expr) -> Relation:
+        method = getattr(self, f"_eval_{type(expr).__name__}", None)
+        if method is None:
+            raise TypeError(f"no evaluation rule for {type(expr).__name__}")
+        result = method(expr)
+        self._charge(len(result), type(expr).__name__)
+        return result
+
+    # ------------------------------------------------------------------
+    # Leaves
+    # ------------------------------------------------------------------
+    def _eval_RelationRef(self, expr: RelationRef) -> Relation:
+        return self.db[expr.name].distinct()
+
+    def _eval_Literal(self, expr: Literal) -> Relation:
+        return expr.relation.distinct()
+
+    def _eval_AdomPower(self, expr: AdomPower) -> Relation:
+        domain = self.adom()
+        k = len(expr.attributes)
+        if self.max_rows is not None and len(domain) ** k > self.max_rows:
+            raise EvaluationBudgetExceeded(self.max_rows, f"adom^{k}")
+        rows = itertools.product(domain, repeat=k)
+        return Relation(expr.attributes, rows)
+
+    # ------------------------------------------------------------------
+    # Unary operators
+    # ------------------------------------------------------------------
+    def _eval_Selection(self, expr: Selection) -> Relation:
+        child = self._eval(expr.child)
+        attrs = child.attributes
+        kept = [
+            row
+            for row in child.rows
+            if self._selected(expr.condition, dict(zip(attrs, row)))
+        ]
+        return Relation(attrs, kept)
+
+    def _eval_Projection(self, expr: Projection) -> Relation:
+        child = self._eval(expr.child)
+        idx = [child.index_of(a) for a in expr.attributes]
+        rows = (tuple(row[i] for i in idx) for row in child.rows)
+        return Relation(expr.attributes, dict.fromkeys(rows))
+
+    def _eval_Rename(self, expr: Rename) -> Relation:
+        child = self._eval(expr.child)
+        return child.rename(expr.mapping_dict())
+
+    # ------------------------------------------------------------------
+    # Binary operators
+    # ------------------------------------------------------------------
+    def _eval_Product(self, expr: Product) -> Relation:
+        left = self._eval(expr.left)
+        right = self._eval(expr.right)
+        overlap = set(left.attributes) & set(right.attributes)
+        if overlap:
+            raise ValueError(
+                f"product requires disjoint attributes; shared: {sorted(overlap)}"
+            )
+        if self.max_rows is not None and len(left) * len(right) > self.max_rows:
+            raise EvaluationBudgetExceeded(self.max_rows, "Product")
+        rows = (l + r for l in left.rows for r in right.rows)
+        return Relation(left.attributes + right.attributes, rows)
+
+    def _eval_Join(self, expr: Join) -> Relation:
+        left = self._eval(expr.left)
+        right = self._eval(expr.right)
+        overlap = set(left.attributes) & set(right.attributes)
+        if overlap:
+            raise ValueError(
+                f"join requires disjoint attributes; shared: {sorted(overlap)}"
+            )
+        attrs = left.attributes + right.attributes
+        kept = []
+        for l in left.rows:
+            for r in right.rows:
+                row = l + r
+                if self._selected(expr.condition, dict(zip(attrs, row))):
+                    kept.append(row)
+        return Relation(attrs, kept)
+
+    @staticmethod
+    def _check_arity(left: Relation, right: Relation, op: str) -> None:
+        if left.arity != right.arity:
+            raise ValueError(
+                f"{op} requires equal arity, got {left.arity} and {right.arity}"
+            )
+
+    def _eval_Union(self, expr: Union) -> Relation:
+        left = self._eval(expr.left)
+        right = self._eval(expr.right)
+        self._check_arity(left, right, "union")
+        return Relation(left.attributes, dict.fromkeys(left.rows + right.rows))
+
+    def _eval_Intersection(self, expr: Intersection) -> Relation:
+        left = self._eval(expr.left)
+        right = self._eval(expr.right)
+        self._check_arity(left, right, "intersection")
+        right_set = set(right.rows)
+        return Relation(left.attributes, (r for r in left.rows if r in right_set))
+
+    def _eval_Difference(self, expr: Difference) -> Relation:
+        left = self._eval(expr.left)
+        right = self._eval(expr.right)
+        self._check_arity(left, right, "difference")
+        right_set = set(right.rows)
+        return Relation(left.attributes, (r for r in left.rows if r not in right_set))
+
+    # ------------------------------------------------------------------
+    # Semijoins
+    # ------------------------------------------------------------------
+    def _eval_SemiJoin(self, expr: SemiJoin) -> Relation:
+        left, right, matcher = self._condition_matcher(expr)
+        return Relation(left.attributes, (l for l in left.rows if matcher(l)))
+
+    def _eval_AntiJoin(self, expr: AntiJoin) -> Relation:
+        left, right, matcher = self._condition_matcher(expr)
+        return Relation(left.attributes, (l for l in left.rows if not matcher(l)))
+
+    def _condition_matcher(self, expr):
+        left = self._eval(expr.left)
+        right = self._eval(expr.right)
+        overlap = set(left.attributes) & set(right.attributes)
+        if overlap:
+            raise ValueError(
+                f"semijoin requires disjoint attributes; shared: {sorted(overlap)}"
+            )
+        attrs = left.attributes + right.attributes
+
+        def matcher(l_row: Tuple[object, ...]) -> bool:
+            for r_row in right.rows:
+                if self._selected(expr.condition, dict(zip(attrs, l_row + r_row))):
+                    return True
+            return False
+
+        return left, right, matcher
+
+    def _eval_UnifSemiJoin(self, expr: UnifSemiJoin) -> Relation:
+        left = self._eval(expr.left)
+        right = self._eval(expr.right)
+        self._check_arity(left, right, "unification semijoin")
+        test = positionwise_unifiable if expr.codd else unifiable
+        kept = [l for l in left.rows if any(test(l, r) for r in right.rows)]
+        return Relation(left.attributes, kept)
+
+    def _eval_UnifAntiJoin(self, expr: UnifAntiJoin) -> Relation:
+        left = self._eval(expr.left)
+        right = self._eval(expr.right)
+        self._check_arity(left, right, "unification anti-semijoin")
+        test = positionwise_unifiable if expr.codd else unifiable
+        kept = [l for l in left.rows if not any(test(l, r) for r in right.rows)]
+        return Relation(left.attributes, kept)
+
+    # ------------------------------------------------------------------
+    # Division (derived, Fact 1)
+    # ------------------------------------------------------------------
+    def _eval_Division(self, expr: Division) -> Relation:
+        left = self._eval(expr.left)
+        right = self._eval(expr.right)
+        missing = [a for a in right.attributes if a not in left.attributes]
+        if missing:
+            raise ValueError(f"division: attributes {missing} not in dividend")
+        keep = tuple(a for a in left.attributes if a not in right.attributes)
+        keep_idx = [left.index_of(a) for a in keep]
+        div_idx = [left.index_of(a) for a in right.attributes]
+        groups: Dict[Tuple[object, ...], set] = {}
+        for row in left.rows:
+            x = tuple(row[i] for i in keep_idx)
+            y = tuple(row[i] for i in div_idx)
+            groups.setdefault(x, set()).add(y)
+        required = set(right.rows)
+        rows = [x for x, ys in groups.items() if required <= ys]
+        return Relation(keep, rows)
+
+
+def evaluate(
+    expr: Expr,
+    db: Database,
+    semantics: str = "naive",
+    max_rows: Optional[int] = None,
+) -> Relation:
+    """Evaluate *expr* on *db* under the given semantics (set results)."""
+    return Evaluator(db, semantics=semantics, max_rows=max_rows).evaluate(expr)

@@ -1,0 +1,314 @@
+"""Relational algebra expression trees.
+
+Nodes mirror the paper's language: base relations, σ, π, ×, ∪, −, ∩ and
+rename, plus:
+
+* the *unification semijoins* ``⋉⇑`` / ``▷⇑`` of Definition 4 (used by
+  the improved translation of Figure 3);
+* general condition-based semijoin/antijoin (the natural target of SQL's
+  ``EXISTS`` / ``NOT EXISTS``);
+* ``adom^k`` as a first-class node (needed by the Figure 2 translation,
+  whose impracticality Section 5 demonstrates);
+* derived operators join and division (division appears in Fact 1).
+
+Expressions are immutable; construction validates arities/attributes as
+far as possible without a database at hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.algebra.conditions import Condition
+from repro.data.relation import Relation
+
+__all__ = [
+    "Expr",
+    "RelationRef",
+    "Literal",
+    "AdomPower",
+    "Selection",
+    "Projection",
+    "Rename",
+    "Product",
+    "Join",
+    "Union",
+    "Intersection",
+    "Difference",
+    "SemiJoin",
+    "AntiJoin",
+    "UnifSemiJoin",
+    "UnifAntiJoin",
+    "Division",
+    "walk",
+]
+
+
+class Expr:
+    """Base class for algebra expressions."""
+
+    __slots__ = ()
+
+    def children(self) -> Tuple["Expr", ...]:
+        return ()
+
+    # Convenience combinators -------------------------------------------------
+    def select(self, condition: Condition) -> "Selection":
+        return Selection(self, condition)
+
+    def project(self, *attributes: str) -> "Projection":
+        return Projection(self, tuple(attributes))
+
+    def product(self, other: "Expr") -> "Product":
+        return Product(self, other)
+
+    def union(self, other: "Expr") -> "Union":
+        return Union(self, other)
+
+    def intersect(self, other: "Expr") -> "Intersection":
+        return Intersection(self, other)
+
+    def minus(self, other: "Expr") -> "Difference":
+        return Difference(self, other)
+
+
+@dataclass(frozen=True)
+class RelationRef(Expr):
+    """A base relation, by name."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """An inline constant relation (used in tests and examples)."""
+
+    relation: Relation
+
+    def __repr__(self) -> str:
+        return f"lit({', '.join(self.relation.attributes)})"
+
+
+@dataclass(frozen=True)
+class AdomPower(Expr):
+    """``adom(D)^k`` with the given output attribute names.
+
+    The active domain is the union of all values in all relations of the
+    database, so this node's cardinality is ``|adom(D)|^k`` — the
+    combinatorial bomb at the heart of Section 5.
+    """
+
+    attributes: Tuple[str, ...]
+
+    def __repr__(self) -> str:
+        return f"adom^{len(self.attributes)}"
+
+
+@dataclass(frozen=True)
+class Selection(Expr):
+    child: Expr
+    condition: Condition
+
+    def children(self):
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        return f"σ[{self.condition!r}]({self.child!r})"
+
+
+@dataclass(frozen=True)
+class Projection(Expr):
+    child: Expr
+    attributes: Tuple[str, ...]
+
+    def children(self):
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        return f"π[{', '.join(self.attributes)}]({self.child!r})"
+
+
+@dataclass(frozen=True)
+class Rename(Expr):
+    """Attribute renaming; ``mapping`` is old-name → new-name."""
+
+    child: Expr
+    mapping: Tuple[Tuple[str, str], ...]
+
+    def __init__(self, child: Expr, mapping):
+        object.__setattr__(self, "child", child)
+        if isinstance(mapping, dict):
+            mapping = tuple(sorted(mapping.items()))
+        object.__setattr__(self, "mapping", tuple(mapping))
+
+    def mapping_dict(self) -> Dict[str, str]:
+        return dict(self.mapping)
+
+    def children(self):
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        ren = ", ".join(f"{a}→{b}" for a, b in self.mapping)
+        return f"ρ[{ren}]({self.child!r})"
+
+
+@dataclass(frozen=True)
+class Product(Expr):
+    left: Expr
+    right: Expr
+
+    def children(self):
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} × {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Join(Expr):
+    """θ-join: ``σ_cond(left × right)`` kept as one node for readability."""
+
+    left: Expr
+    right: Expr
+    condition: Condition
+
+    def children(self):
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ⋈[{self.condition!r}] {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Union(Expr):
+    left: Expr
+    right: Expr
+
+    def children(self):
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ∪ {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Intersection(Expr):
+    left: Expr
+    right: Expr
+
+    def children(self):
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ∩ {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Difference(Expr):
+    left: Expr
+    right: Expr
+
+    def children(self):
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} − {self.right!r})"
+
+
+@dataclass(frozen=True)
+class SemiJoin(Expr):
+    """``left ⋉_cond right``: left tuples with a θ-matching right tuple.
+
+    The condition sees the concatenation of left and right attributes.
+    """
+
+    left: Expr
+    right: Expr
+    condition: Condition
+
+    def children(self):
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ⋉[{self.condition!r}] {self.right!r})"
+
+
+@dataclass(frozen=True)
+class AntiJoin(Expr):
+    """``left ▷_cond right``: left tuples with *no* θ-matching right tuple."""
+
+    left: Expr
+    right: Expr
+    condition: Condition
+
+    def children(self):
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ▷[{self.condition!r}] {self.right!r})"
+
+
+@dataclass(frozen=True)
+class UnifSemiJoin(Expr):
+    """Left unification semijoin ``R ⋉⇑ S`` (Definition 4).
+
+    Both sides must have the same arity; matching is positional tuple
+    unifiability.  ``codd=True`` uses the position-wise (Codd) test,
+    which is exact for non-repeating nulls and a sound approximation
+    otherwise (Corollary 1).
+    """
+
+    left: Expr
+    right: Expr
+    codd: bool = False
+
+    def children(self):
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ⋉⇑ {self.right!r})"
+
+
+@dataclass(frozen=True)
+class UnifAntiJoin(Expr):
+    """Left unification anti-semijoin ``R ▷⇑ S = R − (R ⋉⇑ S)``."""
+
+    left: Expr
+    right: Expr
+    codd: bool = False
+
+    def children(self):
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ▷⇑ {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Division(Expr):
+    """``left ÷ right``: the derived division operator of Fact 1.
+
+    ``right``'s attributes must be a subset of ``left``'s; the result
+    has the remaining attributes ``X`` and contains the ``x`` such that
+    ``(x, y) ∈ left`` for every ``y ∈ right``.
+    """
+
+    left: Expr
+    right: Expr
+
+    def children(self):
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ÷ {self.right!r})"
+
+
+def walk(expr: Expr):
+    """Yield *expr* and all descendants, pre-order."""
+    yield expr
+    for child in expr.children():
+        yield from walk(child)

@@ -1,0 +1,91 @@
+"""SQL's three-valued logic (Kleene logic) as used by ``EvalSQL``.
+
+Truth values are ``TRUE``, ``FALSE`` and ``UNKNOWN`` with the paper's
+rules: ``¬u = u``; ``u ∧ t = u``, ``u ∧ u = u``, ``u ∧ f = f``; dually
+for ``∨`` by De Morgan.  ``WHERE`` keeps exactly the rows whose
+condition is ``TRUE``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable
+
+__all__ = ["ThreeValued", "TRUE", "FALSE", "UNKNOWN", "tv_and", "tv_or", "tv_not", "from_bool"]
+
+
+class ThreeValued(enum.Enum):
+    TRUE = "t"
+    FALSE = "f"
+    UNKNOWN = "u"
+
+    def __bool__(self) -> bool:
+        """Truthiness = "is selected by WHERE" (only ``TRUE`` is)."""
+        return self is ThreeValued.TRUE
+
+    def __and__(self, other: "ThreeValued") -> "ThreeValued":
+        return tv_and(self, other)
+
+    def __or__(self, other: "ThreeValued") -> "ThreeValued":
+        return tv_or(self, other)
+
+    def __invert__(self) -> "ThreeValued":
+        return tv_not(self)
+
+    def __repr__(self) -> str:
+        return self.value
+
+
+TRUE = ThreeValued.TRUE
+FALSE = ThreeValued.FALSE
+UNKNOWN = ThreeValued.UNKNOWN
+
+
+def from_bool(value: bool) -> ThreeValued:
+    return TRUE if value else FALSE
+
+
+def tv_not(a: ThreeValued) -> ThreeValued:
+    if a is TRUE:
+        return FALSE
+    if a is FALSE:
+        return TRUE
+    return UNKNOWN
+
+
+def tv_and(a: ThreeValued, b: ThreeValued) -> ThreeValued:
+    if a is FALSE or b is FALSE:
+        return FALSE
+    if a is TRUE and b is TRUE:
+        return TRUE
+    return UNKNOWN
+
+
+def tv_or(a: ThreeValued, b: ThreeValued) -> ThreeValued:
+    if a is TRUE or b is TRUE:
+        return TRUE
+    if a is FALSE and b is FALSE:
+        return FALSE
+    return UNKNOWN
+
+
+def tv_all(values: Iterable[ThreeValued]) -> ThreeValued:
+    """Conjunction over an iterable (short-circuits on FALSE)."""
+    result = TRUE
+    for v in values:
+        if v is FALSE:
+            return FALSE
+        if v is UNKNOWN:
+            result = UNKNOWN
+    return result
+
+
+def tv_any(values: Iterable[ThreeValued]) -> ThreeValued:
+    """Disjunction over an iterable (short-circuits on TRUE)."""
+    result = FALSE
+    for v in values:
+        if v is TRUE:
+            return TRUE
+        if v is UNKNOWN:
+            result = UNKNOWN
+    return result

@@ -1,0 +1,133 @@
+"""Brute-force certain answers — the ground truth everything is tested against.
+
+``cert(Q, D)`` (certain answers *with nulls*, Section 2) is the set of
+tuples ``ā`` over ``adom(D)`` such that ``v(ā) ∈ Q(v(D))`` for every
+valuation ``v``.  Computing it is coNP-hard in general, so this module
+simply enumerates valuations over a sufficient finite domain — viable
+only for the small databases used in tests and in the Section 4/7
+ground-truth comparisons, which is precisely its role.
+
+The classical null-free certain answers are the null-free tuples of
+``cert(Q, D)`` (also Section 2), exposed as :func:`certain_answers`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.algebra.evaluate import evaluate
+from repro.algebra.expr import Expr
+from repro.data.database import Database
+from repro.data.nulls import is_null
+from repro.data.relation import Relation
+from repro.data.valuation import Valuation, enumerate_valuations
+
+__all__ = [
+    "certain_answers_with_nulls",
+    "certain_answers",
+    "possible_answer_union",
+    "represents_potential_answers",
+    "false_positives",
+    "false_negatives",
+]
+
+Row = Tuple[object, ...]
+
+
+def _candidate_tuples(db: Database, arity: int, extra: Iterable[Row] = ()) -> Set[Row]:
+    """Candidate answers: all tuples over ``adom(D)`` of the given arity.
+
+    Exponential in the arity — fine for the unit-test scale this module
+    targets.  ``extra`` lets callers seed known candidates (e.g. tuples
+    already returned by some evaluation) without paying for a larger
+    domain.
+    """
+    domain = sorted(db.active_domain(), key=repr)
+    candidates = set(itertools.product(domain, repeat=arity))
+    candidates.update(tuple(row) for row in extra)
+    return candidates
+
+
+def certain_answers_with_nulls(
+    query: Expr,
+    db: Database,
+    attributes: Optional[Tuple[str, ...]] = None,
+    extra_constants: Optional[int] = None,
+) -> Relation:
+    """``cert(Q, D)`` by explicit valuation enumeration.
+
+    For every candidate tuple ``ā`` over ``adom(D)`` and every valuation
+    ``v`` into ``Const(D)`` plus fresh constants, check
+    ``v(ā) ∈ Q(v(D))``.  The default number of fresh constants (one per
+    null) is sufficient for first-order queries by genericity.
+    """
+    valuations = list(enumerate_valuations(db, extra_constants=extra_constants))
+    # Evaluate the query on every possible world once.
+    worlds: List[Tuple[Valuation, Set[Row]]] = []
+    result_attrs: Optional[Tuple[str, ...]] = attributes
+    for v in valuations:
+        complete = v.apply_database(db)
+        answer = evaluate(query, complete, semantics="naive")
+        if result_attrs is None:
+            result_attrs = answer.attributes
+        worlds.append((v, set(answer.rows)))
+    if result_attrs is None:  # pragma: no cover - no valuations is impossible
+        raise RuntimeError("no valuations produced")
+    arity = len(result_attrs)
+    certain = [
+        candidate
+        for candidate in sorted(_candidate_tuples(db, arity), key=repr)
+        if all(v.apply_row(candidate) in rows for v, rows in worlds)
+    ]
+    return Relation(result_attrs, certain)
+
+
+def certain_answers(query: Expr, db: Database, **kwargs) -> Relation:
+    """Classical certain answers: the null-free tuples of ``cert(Q, D)``."""
+    with_nulls = certain_answers_with_nulls(query, db, **kwargs)
+    rows = [row for row in with_nulls.rows if not any(is_null(v) for v in row)]
+    return Relation(with_nulls.attributes, rows)
+
+
+def possible_answer_union(
+    query: Expr, db: Database, extra_constants: Optional[int] = None
+) -> Set[Row]:
+    """``⋃_v Q(v(D))`` over the enumerated valuations (maybe-answers)."""
+    everything: Set[Row] = set()
+    for v in enumerate_valuations(db, extra_constants=extra_constants):
+        complete = v.apply_database(db)
+        everything |= set(evaluate(query, complete, semantics="naive").rows)
+    return everything
+
+
+def represents_potential_answers(
+    candidate: Relation,
+    query: Expr,
+    db: Database,
+    extra_constants: Optional[int] = None,
+) -> bool:
+    """Check Definition 3: ``Q(v(D)) ⊆ v(A)`` for every valuation ``v``.
+
+    Used to validate the ``Q?`` side of the improved translation
+    (Lemma 2) on small instances.
+    """
+    for v in enumerate_valuations(db, extra_constants=extra_constants):
+        complete = v.apply_database(db)
+        answers = set(evaluate(query, complete, semantics="naive").rows)
+        image = {v.apply_row(row) for row in candidate.rows}
+        if not answers <= image:
+            return False
+    return True
+
+
+def false_positives(returned: Relation, certain: Relation) -> List[Row]:
+    """Tuples returned by an evaluation that are not certain answers."""
+    certain_set = set(certain.rows)
+    return [row for row in returned.rows if row not in certain_set]
+
+
+def false_negatives(returned: Relation, certain: Relation) -> List[Row]:
+    """Certain answers missed by an evaluation."""
+    returned_set = set(returned.rows)
+    return [row for row in certain.rows if row not in returned_set]

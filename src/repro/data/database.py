@@ -1,0 +1,119 @@
+"""Incomplete databases: named relations plus optional schema metadata."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional, Tuple
+
+from repro.data.nulls import is_null
+from repro.data.relation import Relation
+from repro.data.schema import DatabaseSchema
+
+__all__ = ["Database"]
+
+
+class Database:
+    """A map from relation names to :class:`Relation` instances.
+
+    The optional :class:`~repro.data.schema.DatabaseSchema` records keys
+    and nullability; the translation and rewriting layers consult it
+    when present but never require it.
+    """
+
+    def __init__(
+        self,
+        relations: Optional[Dict[str, Relation]] = None,
+        schema: Optional[DatabaseSchema] = None,
+    ):
+        self.relations: Dict[str, Relation] = dict(relations or {})
+        self.schema = schema
+
+    # ------------------------------------------------------------------
+    # Mapping protocol
+    # ------------------------------------------------------------------
+    def __getitem__(self, name: str) -> Relation:
+        try:
+            return self.relations[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown relation {name!r}; have {sorted(self.relations)}"
+            ) from None
+
+    def __setitem__(self, name: str, relation: Relation) -> None:
+        self.relations[name] = relation
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.relations
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.relations)
+
+    def items(self):
+        return self.relations.items()
+
+    def relation_names(self) -> Tuple[str, ...]:
+        return tuple(self.relations)
+
+    # ------------------------------------------------------------------
+    # Incompleteness
+    # ------------------------------------------------------------------
+    def nulls(self) -> set:
+        """``Null(D)``: all distinct nulls occurring in the database."""
+        found = set()
+        for rel in self.relations.values():
+            found |= rel.nulls()
+        return found
+
+    def constants(self) -> set:
+        """``Const(D)``: all constants occurring in the database."""
+        found = set()
+        for rel in self.relations.values():
+            found |= rel.constants()
+        return found
+
+    def active_domain(self) -> set:
+        """``adom(D) = Const(D) ∪ Null(D)``."""
+        return self.constants() | self.nulls()
+
+    def is_complete(self) -> bool:
+        return all(rel.is_complete() for rel in self.relations.values())
+
+    def total_rows(self) -> int:
+        return sum(len(rel) for rel in self.relations.values())
+
+    # ------------------------------------------------------------------
+    # Copies
+    # ------------------------------------------------------------------
+    def map_rows(self, fn) -> "Database":
+        """A new database with every row passed through *fn*."""
+        return Database(
+            {
+                name: Relation(rel.attributes, (fn(row) for row in rel.rows))
+                for name, rel in self.relations.items()
+            },
+            schema=self.schema,
+        )
+
+    def copy(self) -> "Database":
+        return self.map_rows(lambda row: row)
+
+    def describe(self) -> str:
+        lines = []
+        for name, rel in sorted(self.relations.items()):
+            null_count = sum(
+                1 for row in rel.rows for v in row if is_null(v)
+            )
+            lines.append(
+                f"{name}: {len(rel)} rows, arity {rel.arity}, {null_count} null cells"
+            )
+        return "\n".join(lines)
+
+
+def database_from_dict(
+    data: Dict[str, Tuple[Iterable[str], Iterable[Tuple[object, ...]]]],
+    schema: Optional[DatabaseSchema] = None,
+) -> Database:
+    """Build a database from ``{name: (attributes, rows)}`` literals."""
+    return Database(
+        {name: Relation(attrs, rows) for name, (attrs, rows) in data.items()},
+        schema=schema,
+    )

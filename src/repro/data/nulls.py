@@ -1,0 +1,85 @@
+"""Marked (labelled) nulls, with Codd nulls as the non-repeating case.
+
+The paper's data model populates databases with elements of
+``Const ∪ Null``.  Nulls are *marked*: two null occurrences denote the
+same unknown value iff they carry the same label.  Codd nulls — the
+usual model of SQL's ``NULL`` — are marked nulls that never repeat, so
+every occurrence is generated fresh.
+
+``Null`` objects compare equal by label.  This equality is the *data
+level* identity of the null (needed, e.g., to deduplicate tuples under
+set semantics); it is **not** the query-level comparison semantics,
+which lives in :mod:`repro.algebra.evaluate` (naive evaluation treats
+``⊥ = ⊥`` as true for the same label, SQL's 3VL treats any comparison
+with a null as *unknown*).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+__all__ = ["Null", "fresh_null", "is_null", "codd_null_factory", "reset_null_counter"]
+
+_counter = itertools.count(1)
+
+
+class Null:
+    """A marked null ``⊥_label``.
+
+    Parameters
+    ----------
+    label:
+        Identity of the null.  Nulls with equal labels are the same
+        unknown value.  When omitted, a globally fresh label is drawn,
+        which is exactly how Codd nulls are produced.
+    """
+
+    __slots__ = ("label",)
+
+    def __init__(self, label: object = None):
+        if label is None:
+            label = next(_counter)
+        self.label = label
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Null) and self.label == other.label
+
+    def __ne__(self, other: object) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self) -> int:
+        return hash(("⊥", self.label))
+
+    def __repr__(self) -> str:
+        return f"⊥{self.label}"
+
+    # Nulls are incomparable with constants under ``<`` etc.; any code
+    # path ordering raw database values must go through a semantics
+    # module.  Raising here catches such bugs early.
+    def __lt__(self, other: object):  # pragma: no cover - defensive
+        raise TypeError("marked nulls are not ordered; use a query semantics")
+
+    __le__ = __gt__ = __ge__ = __lt__
+
+
+def fresh_null() -> Null:
+    """Return a null with a globally fresh label (a Codd null)."""
+    return Null()
+
+
+def is_null(value: object) -> bool:
+    """Return ``True`` iff *value* is a (marked) null."""
+    return isinstance(value, Null)
+
+
+def codd_null_factory() -> Iterator[Null]:
+    """Infinite iterator of fresh, pairwise-distinct nulls."""
+    while True:
+        yield Null()
+
+
+def reset_null_counter() -> None:
+    """Reset the fresh-label counter (test isolation only)."""
+    global _counter
+    _counter = itertools.count(1)

@@ -1,0 +1,162 @@
+"""Relations: named-attribute tables over ``Const ∪ Null``.
+
+A :class:`Relation` stores tuples positionally and exposes attribute
+names for condition evaluation.  The paper works under set semantics
+(relational algebra); the engine layer keeps bags and deduplicates where
+set semantics is required.  Here deduplication is explicit via
+:meth:`Relation.distinct`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.data.nulls import Null, is_null
+
+__all__ = ["Relation"]
+
+Row = Tuple[object, ...]
+
+
+class Relation:
+    """An ordered collection of equal-width tuples with named columns."""
+
+    __slots__ = ("attributes", "rows", "_index_cache")
+
+    def __init__(self, attributes: Sequence[str], rows: Iterable[Sequence[object]] = ()):
+        self.attributes: Tuple[str, ...] = tuple(attributes)
+        if len(set(self.attributes)) != len(self.attributes):
+            raise ValueError(f"duplicate attribute names: {self.attributes}")
+        self.rows: List[Row] = []
+        self._index_cache: Dict[str, Dict[object, List[Row]]] = {}
+        width = len(self.attributes)
+        for row in rows:
+            row = tuple(row)
+            if len(row) != width:
+                raise ValueError(
+                    f"row width {len(row)} does not match arity {width}: {row!r}"
+                )
+            self.rows.append(row)
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def __contains__(self, row: Sequence[object]) -> bool:
+        return tuple(row) in set(self.rows)
+
+    def __eq__(self, other: object) -> bool:
+        """Set-semantics equality: same attributes, same set of rows."""
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self.attributes == other.attributes and set(self.rows) == set(other.rows)
+
+    def __repr__(self) -> str:
+        head = ", ".join(self.attributes)
+        return f"Relation({head}; {len(self.rows)} rows)"
+
+    # ------------------------------------------------------------------
+    # Access helpers
+    # ------------------------------------------------------------------
+    def index_of(self, attribute: str) -> int:
+        try:
+            return self.attributes.index(attribute)
+        except ValueError:
+            raise KeyError(
+                f"no attribute {attribute!r} in relation with {self.attributes}"
+            ) from None
+
+    def column(self, attribute: str) -> List[object]:
+        i = self.index_of(attribute)
+        return [row[i] for row in self.rows]
+
+    def row_dicts(self) -> Iterator[Dict[str, object]]:
+        for row in self.rows:
+            yield dict(zip(self.attributes, row))
+
+    # ------------------------------------------------------------------
+    # Mutation (used by data generators; algebra never mutates)
+    # ------------------------------------------------------------------
+    def add(self, row: Sequence[object]) -> None:
+        row = tuple(row)
+        if len(row) != self.arity:
+            raise ValueError(f"row width {len(row)} != arity {self.arity}")
+        self.rows.append(row)
+        self._index_cache.clear()
+
+    def extend(self, rows: Iterable[Sequence[object]]) -> None:
+        for row in rows:
+            self.add(row)
+
+    # ------------------------------------------------------------------
+    # Derived relations
+    # ------------------------------------------------------------------
+    def distinct(self) -> "Relation":
+        """Set-semantics copy (stable order, duplicates removed)."""
+        return Relation(self.attributes, dict.fromkeys(self.rows))
+
+    def rename(self, mapping: Dict[str, str]) -> "Relation":
+        attrs = tuple(mapping.get(a, a) for a in self.attributes)
+        return Relation(attrs, self.rows)
+
+    def prefixed(self, prefix: str) -> "Relation":
+        """Qualify every attribute as ``prefix.attr`` (FROM-alias style)."""
+        return Relation(tuple(f"{prefix}.{a}" for a in self.attributes), self.rows)
+
+    # ------------------------------------------------------------------
+    # Incompleteness helpers
+    # ------------------------------------------------------------------
+    def nulls(self) -> set:
+        """The set of distinct nulls occurring in this relation."""
+        found = set()
+        for row in self.rows:
+            for value in row:
+                if is_null(value):
+                    found.add(value)
+        return found
+
+    def constants(self) -> set:
+        found = set()
+        for row in self.rows:
+            for value in row:
+                if not is_null(value):
+                    found.add(value)
+        return found
+
+    def is_complete(self) -> bool:
+        return not self.nulls()
+
+    # ------------------------------------------------------------------
+    # Hash index over one column (engine uses richer indexes; this one
+    # supports the brute-force layers and FP detectors).
+    # ------------------------------------------------------------------
+    def hash_index(self, attribute: str) -> Dict[object, List[Row]]:
+        """Rows grouped by the value of *attribute* (nulls under ``Null``)."""
+        if attribute not in self._index_cache:
+            i = self.index_of(attribute)
+            index: Dict[object, List[Row]] = {}
+            for row in self.rows:
+                index.setdefault(row[i], []).append(row)
+            self._index_cache[attribute] = index
+        return self._index_cache[attribute]
+
+    def pretty(self, limit: int = 20) -> str:
+        """Small ASCII rendering for examples and docs."""
+        header = " | ".join(self.attributes)
+        sep = "-" * len(header)
+        body = [
+            " | ".join("NULL" if is_null(v) else str(v) for v in row)
+            for row in self.rows[:limit]
+        ]
+        if len(self.rows) > limit:
+            body.append(f"... ({len(self.rows) - limit} more rows)")
+        return "\n".join([header, sep, *body])

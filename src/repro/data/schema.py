@@ -1,0 +1,138 @@
+"""Relational schemas: attributes, keys, nullability, foreign keys.
+
+Schemas carry exactly the metadata the paper's machinery needs:
+
+* *nullability* — which attributes may hold nulls (drives null
+  injection in :mod:`repro.tpch.nullify` and the nullability analysis of
+  the direct SQL rewriter);
+* *primary keys* — enable the Section 7 simplification
+  ``R ▷⇑ S → R − S`` when ``S ⊆ R`` and ``R`` has a key;
+* *foreign keys* — used by the data generators to produce consistent
+  instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+__all__ = ["Attribute", "RelationSchema", "ForeignKey", "DatabaseSchema"]
+
+#: Logical attribute types understood by the data generators.
+ATTRIBUTE_TYPES = ("int", "float", "str", "date")
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named, typed attribute with a nullability flag."""
+
+    name: str
+    type: str = "str"
+    nullable: bool = True
+
+    def __post_init__(self):
+        if self.type not in ATTRIBUTE_TYPES:
+            raise ValueError(f"unknown attribute type {self.type!r}")
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """``table.columns`` references ``ref_table.ref_columns``."""
+
+    table: str
+    columns: Tuple[str, ...]
+    ref_table: str
+    ref_columns: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """Schema of one relation: ordered attributes plus an optional key."""
+
+    name: str
+    attributes: Tuple[Attribute, ...]
+    key: Tuple[str, ...] = ()
+
+    def __post_init__(self):
+        names = [a.name for a in self.attributes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate attribute names in {self.name}: {names}")
+        for k in self.key:
+            if k not in names:
+                raise ValueError(f"key attribute {k!r} not in relation {self.name}")
+        # Key attributes can never be null.
+        for attr in self.attributes:
+            if attr.name in self.key and attr.nullable:
+                raise ValueError(
+                    f"key attribute {attr.name!r} of {self.name} must not be nullable"
+                )
+
+    @property
+    def attribute_names(self) -> Tuple[str, ...]:
+        return tuple(a.name for a in self.attributes)
+
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+    def attribute(self, name: str) -> Attribute:
+        for a in self.attributes:
+            if a.name == name:
+                return a
+        raise KeyError(f"no attribute {name!r} in relation {self.name}")
+
+    def is_nullable(self, name: str) -> bool:
+        return self.attribute(name).nullable
+
+    def nullable_attributes(self) -> Tuple[str, ...]:
+        return tuple(a.name for a in self.attributes if a.nullable)
+
+    def index_of(self, name: str) -> int:
+        for i, a in enumerate(self.attributes):
+            if a.name == name:
+                return i
+        raise KeyError(f"no attribute {name!r} in relation {self.name}")
+
+
+@dataclass
+class DatabaseSchema:
+    """A set of relation schemas plus foreign keys."""
+
+    relations: Dict[str, RelationSchema] = field(default_factory=dict)
+    foreign_keys: Tuple[ForeignKey, ...] = ()
+
+    def add(self, schema: RelationSchema) -> "DatabaseSchema":
+        self.relations[schema.name] = schema
+        return self
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.relations
+
+    def __getitem__(self, name: str) -> RelationSchema:
+        return self.relations[name]
+
+    def get(self, name: str) -> Optional[RelationSchema]:
+        return self.relations.get(name)
+
+    def relation_names(self) -> Tuple[str, ...]:
+        return tuple(self.relations)
+
+
+def make_schema(
+    name: str,
+    columns: Iterable[Tuple[str, str]],
+    key: Iterable[str] = (),
+    not_null: Iterable[str] = (),
+) -> RelationSchema:
+    """Convenience constructor used by the TPC-H schema definition.
+
+    ``columns`` is an iterable of ``(name, type)``; attributes listed in
+    ``key`` or ``not_null`` are non-nullable, everything else is
+    nullable (the paper's split into nullable / non-nullable columns).
+    """
+    key = tuple(key)
+    forced = set(key) | set(not_null)
+    attrs = tuple(
+        Attribute(col, typ, nullable=col not in forced) for col, typ in columns
+    )
+    return RelationSchema(name=name, attributes=attrs, key=key)

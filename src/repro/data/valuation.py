@@ -1,0 +1,135 @@
+"""Valuations of nulls: maps ``Null(D) → Const`` and their enumeration.
+
+Under the closed-world, missing-value interpretation the semantics of an
+incomplete database ``D`` is ``{v(D) | v a valuation}``.  Certain
+answers quantify over *all* valuations — an infinite set — but for
+first-order queries genericity lets us restrict attention to valuations
+into ``Const(D)`` extended with one fresh constant per null: any two
+valuations with the same equality pattern on that domain produce the
+same (isomorphic) complete database, and FO queries cannot distinguish
+isomorphic databases beyond the constants they mention.  The brute-force
+layer in :mod:`repro.certain` relies on this.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.data.database import Database
+from repro.data.nulls import Null, is_null
+from repro.data.relation import Relation
+
+__all__ = [
+    "Valuation",
+    "enumerate_valuations",
+    "sample_valuations",
+    "fresh_constants",
+]
+
+
+class Valuation:
+    """A total map from a set of nulls to constants."""
+
+    __slots__ = ("mapping",)
+
+    def __init__(self, mapping: Dict[Null, object]):
+        for null, value in mapping.items():
+            if not is_null(null):
+                raise TypeError(f"valuation key {null!r} is not a null")
+            if is_null(value):
+                raise TypeError(f"valuation value {value!r} is not a constant")
+        self.mapping = dict(mapping)
+
+    def __call__(self, value: object) -> object:
+        """Apply to a single value: nulls map through, constants fixed."""
+        if is_null(value):
+            try:
+                return self.mapping[value]
+            except KeyError:
+                raise KeyError(f"valuation is not defined on {value!r}") from None
+        return value
+
+    def apply_row(self, row: Sequence[object]) -> Tuple[object, ...]:
+        return tuple(self(v) for v in row)
+
+    def apply_relation(self, relation: Relation) -> Relation:
+        return Relation(
+            relation.attributes, (self.apply_row(row) for row in relation.rows)
+        )
+
+    def apply_database(self, db: Database) -> Database:
+        return db.map_rows(self.apply_row)
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{k!r}→{v!r}" for k, v in self.mapping.items())
+        return f"Valuation({pairs})"
+
+
+class _Fresh:
+    """A constant guaranteed not to collide with database constants."""
+
+    __slots__ = ("tag",)
+
+    def __init__(self, tag: int):
+        self.tag = tag
+
+    def __eq__(self, other):
+        return isinstance(other, _Fresh) and self.tag == other.tag
+
+    def __hash__(self):
+        return hash(("fresh", self.tag))
+
+    def __repr__(self):
+        return f"c•{self.tag}"
+
+
+def fresh_constants(count: int) -> List[object]:
+    """*count* pairwise-distinct constants outside any database domain."""
+    return [_Fresh(i) for i in range(count)]
+
+
+def enumerate_valuations(
+    db: Database,
+    extra_constants: Optional[int] = None,
+    domain: Optional[Iterable[object]] = None,
+) -> Iterator[Valuation]:
+    """All valuations of ``Null(D)`` into a finite, sufficient domain.
+
+    The domain defaults to ``Const(D)`` plus ``extra_constants`` fresh
+    values (default: one per null, the generic sufficiency bound).  The
+    number of valuations is ``|domain| ** |Null(D)|`` — intended for the
+    small instances used as ground truth in tests and experiments.
+    """
+    nulls = sorted(db.nulls(), key=lambda n: repr(n.label))
+    if not nulls:
+        yield Valuation({})
+        return
+    if domain is None:
+        if extra_constants is None:
+            extra_constants = len(nulls)
+        domain_list = sorted(db.constants(), key=repr)
+        domain_list += fresh_constants(extra_constants)
+    else:
+        domain_list = list(domain)
+    if not domain_list:
+        domain_list = fresh_constants(1)
+    for combo in itertools.product(domain_list, repeat=len(nulls)):
+        yield Valuation(dict(zip(nulls, combo)))
+
+
+def sample_valuations(
+    db: Database,
+    count: int,
+    rng: Optional[random.Random] = None,
+    extra_constants: int = 2,
+) -> Iterator[Valuation]:
+    """Random valuations (for probabilistic property tests)."""
+    rng = rng or random.Random(0)
+    nulls = sorted(db.nulls(), key=lambda n: repr(n.label))
+    domain = sorted(db.constants(), key=repr) + fresh_constants(extra_constants)
+    if not domain:
+        domain = fresh_constants(1)
+    for _ in range(count):
+        yield Valuation({n: rng.choice(domain) for n in nulls})

@@ -1,0 +1,843 @@
+"""Compiled SELECT blocks: classification, join ordering, evaluation.
+
+A :class:`CompiledBlock` is the engine's unit of execution.  Compiling a
+``SELECT`` block:
+
+1. resolves every column reference (recording which outer blocks must
+   supply values for correlated references);
+2. classifies WHERE conjuncts into *pushed filters* (single table),
+   *equi-joins* (plain ``a = b`` across two local tables), *probes*
+   (``local = <outer expression>``) and *residuals* (everything else —
+   ``OR`` conditions, subquery predicates, …);
+3. compiles scalar expressions and conditions into evaluator objects
+   with SQL's three-valued semantics.
+
+At run time the block lazily picks a greedy left-deep join order (hash
+joins on available equality keys, Cartesian products otherwise — which
+is how an ``OR … IS NULL`` join condition degrades to nested loops, the
+Section 7 Q4 effect), builds hash indexes once, and streams result rows
+so ``EXISTS`` probes stop at the first match.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.algebra.conditions import like_match
+from repro.algebra.threevl import FALSE, TRUE, UNKNOWN, ThreeValued, from_bool
+from repro.data.nulls import Null, is_null
+from repro.engine.scope import CompileScope, EngineError, Resolution
+from repro.sql import ast
+
+__all__ = ["CompiledBlock", "ExecContext", "compile_block"]
+
+Row = Tuple[object, ...]
+Key = Tuple[str, str]  # (binding, column)
+
+
+class ExecContext:
+    """Shared execution state: database, parameters, materialised CTEs."""
+
+    def __init__(
+        self,
+        db,
+        params: Optional[Dict[str, object]] = None,
+        marked_nulls: bool = False,
+    ):
+        self.db = db
+        self.params = dict(params or {})
+        self.ctes: Dict[str, "object"] = {}
+        #: Section 8's "proper implementation of marked nulls": equality
+        #: between two occurrences of the *same* null is TRUE instead of
+        #: unknown (and disequality FALSE).  Everything else keeps 3VL.
+        self.marked_nulls = marked_nulls
+        #: instrumentation: rows produced by join steps (see explain/tests)
+        self.rows_examined = 0
+
+    def relation(self, name: str):
+        if name in self.ctes:
+            return self.ctes[name]
+        try:
+            return self.db[name]
+        except KeyError:
+            raise EngineError(f"unknown table {name!r}") from None
+
+
+# ---------------------------------------------------------------------------
+# Scalar expression evaluators
+# ---------------------------------------------------------------------------
+
+
+class _Expr:
+    """Compiled scalar expression."""
+
+    __slots__ = ()
+    local_keys: frozenset = frozenset()
+    has_outer: bool = False
+
+    def eval(self, cursor, env):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class _Const(_Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def eval(self, cursor, env):
+        return self.value
+
+
+class _Col(_Expr):
+    __slots__ = ("depth", "key", "local_keys", "has_outer")
+
+    def __init__(self, resolution: Resolution):
+        self.depth = resolution.depth
+        self.key = resolution.key
+        self.local_keys = frozenset([self.key]) if resolution.depth == 0 else frozenset()
+        self.has_outer = resolution.depth > 0
+
+    def eval(self, cursor, env):
+        if self.depth == 0:
+            slot = cursor[0].get(self.key)
+            if slot is None:
+                raise EngineError(f"column {self.key} not bound yet")
+            return cursor[1][slot]
+        return env[self.key]
+
+
+class _Concat(_Expr):
+    __slots__ = ("parts", "local_keys", "has_outer")
+
+    def __init__(self, parts: Sequence[_Expr]):
+        self.parts = tuple(parts)
+        keys = frozenset()
+        for part in parts:
+            keys |= part.local_keys
+        self.local_keys = keys
+        self.has_outer = any(part.has_outer for part in parts)
+
+    def eval(self, cursor, env):
+        pieces = []
+        for part in self.parts:
+            value = part.eval(cursor, env)
+            if is_null(value):
+                return value  # null-propagating
+            pieces.append(str(value))
+        return "".join(pieces)
+
+
+class _ScalarSubquery(_Expr):
+    """Uncorrelated scalar aggregate subquery — evaluated once, cached."""
+
+    __slots__ = ("block", "func", "arg", "_cache", "_computed")
+
+    def __init__(self, block: "CompiledBlock", func: str, arg: Optional[_Expr]):
+        if block.external:
+            raise EngineError("correlated scalar subqueries are not supported")
+        self.block = block
+        self.func = func
+        self.arg = arg
+        self._cache = None
+        self._computed = False
+
+    def eval(self, cursor, env):
+        if not self._computed:
+            self._cache = self._compute()
+            self._computed = True
+        return self._cache
+
+    def _compute(self):
+        values = []
+        count_star = 0
+        for sub_cursor in self.block.iterate({}):
+            count_star += 1
+            if self.arg is not None:
+                values.append(self.arg.eval(sub_cursor, {}))
+        non_null = [v for v in values if not is_null(v)]
+        if self.func == "count":
+            return count_star if self.arg is None else len(non_null)
+        if not non_null:
+            return Null()  # SQL aggregates over nothing yield NULL
+        if self.func == "avg":
+            return sum(non_null) / len(non_null)
+        if self.func == "sum":
+            return sum(non_null)
+        if self.func == "min":
+            return min(non_null)
+        if self.func == "max":
+            return max(non_null)
+        raise EngineError(f"unknown aggregate {self.func!r}")  # pragma: no cover
+
+
+# ---------------------------------------------------------------------------
+# Condition evaluators (three-valued)
+# ---------------------------------------------------------------------------
+
+
+class _Cond:
+    __slots__ = ()
+    local_keys: frozenset = frozenset()
+    has_outer: bool = False
+
+    def eval(self, cursor, env) -> ThreeValued:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+def _compare(op: str, a, b, marked: bool = False) -> ThreeValued:
+    if is_null(a) or is_null(b):
+        if marked and is_null(a) and is_null(b) and a == b:
+            # The same marked null certainly equals itself.
+            if op == "=":
+                return TRUE
+            if op == "<>":
+                return FALSE
+        return UNKNOWN
+    if op == "=":
+        return from_bool(a == b)
+    if op == "<>":
+        return from_bool(a != b)
+    if op == "like":
+        return from_bool(like_match(a, b))
+    if op == "not like":
+        return from_bool(not like_match(a, b))
+    if op == "<":
+        return from_bool(a < b)
+    if op == "<=":
+        return from_bool(a <= b)
+    if op == ">":
+        return from_bool(a > b)
+    if op == ">=":
+        return from_bool(a >= b)
+    raise EngineError(f"unknown comparison operator {op!r}")  # pragma: no cover
+
+
+class _Cmp(_Cond):
+    __slots__ = ("op", "left", "right", "local_keys", "has_outer", "marked")
+
+    def __init__(self, op: str, left: _Expr, right: _Expr, marked: bool = False):
+        self.op = op
+        self.left = left
+        self.right = right
+        self.local_keys = left.local_keys | right.local_keys
+        self.has_outer = left.has_outer or right.has_outer
+        self.marked = marked
+
+    def eval(self, cursor, env) -> ThreeValued:
+        return _compare(
+            self.op,
+            self.left.eval(cursor, env),
+            self.right.eval(cursor, env),
+            self.marked,
+        )
+
+
+class _IsNull(_Cond):
+    __slots__ = ("expr", "negated", "local_keys", "has_outer")
+
+    def __init__(self, expr: _Expr, negated: bool):
+        self.expr = expr
+        self.negated = negated
+        self.local_keys = expr.local_keys
+        self.has_outer = expr.has_outer
+
+    def eval(self, cursor, env) -> ThreeValued:
+        value = self.expr.eval(cursor, env)
+        return from_bool(is_null(value) != self.negated)
+
+
+class _Bool(_Cond):
+    __slots__ = ("op", "items", "local_keys", "has_outer")
+
+    def __init__(self, op: str, items: Sequence[_Cond]):
+        self.op = op
+        self.items = tuple(items)
+        keys = frozenset()
+        for item in items:
+            keys |= item.local_keys
+        self.local_keys = keys
+        self.has_outer = any(item.has_outer for item in items)
+
+    def eval(self, cursor, env) -> ThreeValued:
+        if self.op == "and":
+            result = TRUE
+            for item in self.items:
+                value = item.eval(cursor, env)
+                if value is FALSE:
+                    return FALSE
+                if value is UNKNOWN:
+                    result = UNKNOWN
+            return result
+        result = FALSE
+        for item in self.items:
+            value = item.eval(cursor, env)
+            if value is TRUE:
+                return TRUE
+            if value is UNKNOWN:
+                result = UNKNOWN
+        return result
+
+
+class _Not(_Cond):
+    __slots__ = ("item", "local_keys", "has_outer")
+
+    def __init__(self, item: _Cond):
+        self.item = item
+        self.local_keys = item.local_keys
+        self.has_outer = item.has_outer
+
+    def eval(self, cursor, env) -> ThreeValued:
+        return ~self.item.eval(cursor, env)
+
+
+class _BoolConst(_Cond):
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool):
+        self.value = TRUE if value else FALSE
+
+    def eval(self, cursor, env) -> ThreeValued:
+        return self.value
+
+
+class _Exists(_Cond):
+    """``[NOT] EXISTS`` — two-valued; uncorrelated results are cached."""
+
+    __slots__ = ("block", "negated", "needed", "local_keys", "has_outer", "_cache")
+
+    def __init__(self, block: "CompiledBlock", negated: bool, parent_scope: CompileScope):
+        self.block = block
+        self.negated = negated
+        self.needed = tuple(
+            res.key for res in block.external if res.scope is parent_scope
+        )
+        self.local_keys = frozenset(self.needed)
+        self.has_outer = any(res.scope is not parent_scope for res in block.external)
+        self._cache: Optional[ThreeValued] = None
+
+    def eval(self, cursor, env) -> ThreeValued:
+        if not self.block.external:
+            if self._cache is None:
+                self._cache = self._probe({})
+            return self._cache
+        env2 = dict(env)
+        slotmap, row = cursor
+        for key in self.needed:
+            env2[key] = row[slotmap[key]]
+        return self._probe(env2)
+
+    def _probe(self, env) -> ThreeValued:
+        found = False
+        for _ in self.block.iterate(env):
+            found = True
+            break
+        return from_bool(found != self.negated)
+
+
+class _InValues(_Cond):
+    __slots__ = ("expr", "values", "negated", "local_keys", "has_outer", "marked")
+
+    def __init__(
+        self, expr: _Expr, values: Sequence[_Expr], negated: bool, marked: bool = False
+    ):
+        self.expr = expr
+        self.values = tuple(values)
+        self.negated = negated
+        self.local_keys = expr.local_keys
+        self.has_outer = expr.has_outer or any(v.has_outer for v in self.values)
+        self.marked = marked
+
+    def eval(self, cursor, env) -> ThreeValued:
+        x = self.expr.eval(cursor, env)
+        candidates: List[object] = []
+        for value_expr in self.values:
+            value = value_expr.eval(cursor, env)
+            if isinstance(value, (list, tuple)):
+                candidates.extend(value)  # list-valued parameter
+            else:
+                candidates.append(value)
+        result = _membership(x, candidates, self.marked)
+        return ~result if self.negated else result
+
+
+class _InSubquery(_Cond):
+    __slots__ = (
+        "expr", "block", "out", "negated", "needed", "local_keys", "has_outer",
+        "marked", "_cache",
+    )
+
+    def __init__(
+        self,
+        expr: _Expr,
+        block: "CompiledBlock",
+        out: _Expr,
+        negated: bool,
+        parent_scope: CompileScope,
+    ):
+        self.expr = expr
+        self.block = block
+        self.out = out
+        self.negated = negated
+        self.needed = tuple(
+            res.key for res in block.external if res.scope is parent_scope
+        )
+        self.local_keys = expr.local_keys | frozenset(self.needed)
+        self.has_outer = expr.has_outer or any(
+            res.scope is not parent_scope for res in block.external
+        )
+        self.marked = block.ctx.marked_nulls
+        self._cache: Optional[List[object]] = None
+
+    def _values(self, env) -> List[object]:
+        return [self.out.eval(cursor, env) for cursor in self.block.iterate(env)]
+
+    def eval(self, cursor, env) -> ThreeValued:
+        x = self.expr.eval(cursor, env)
+        if not self.block.external:
+            if self._cache is None:
+                self._cache = self._values({})
+            values = self._cache
+        else:
+            env2 = dict(env)
+            slotmap, row = cursor
+            for key in self.needed:
+                env2[key] = row[slotmap[key]]
+            values = self._values(env2)
+        result = _membership(x, values, self.marked)
+        return ~result if self.negated else result
+
+
+def _membership(x, values, marked: bool = False) -> ThreeValued:
+    """SQL semantics of ``x IN (values)``."""
+    saw_unknown = False
+    for value in values:
+        cmp = _compare("=", x, value, marked)
+        if cmp is TRUE:
+            return TRUE
+        if cmp is UNKNOWN:
+            saw_unknown = True
+    return UNKNOWN if saw_unknown else FALSE
+
+
+# ---------------------------------------------------------------------------
+# The compiled block
+# ---------------------------------------------------------------------------
+
+
+class _Source:
+    """One FROM entry with its pushed single-table filters."""
+
+    __slots__ = ("binding", "table", "columns", "filters")
+
+    def __init__(self, binding: str, table: str, columns: Tuple[str, ...]):
+        self.binding = binding
+        self.table = table
+        self.columns = columns
+        self.filters: List[_Cond] = []
+
+
+class CompiledBlock:
+    def __init__(self, select: ast.Select, ctx: ExecContext, parent: Optional[CompileScope]):
+        self.select = select
+        self.ctx = ctx
+        self.sources: Dict[str, _Source] = {}
+        for ref in select.tables:
+            relation = ctx.relation(ref.name)
+            if ref.binding in self.sources:
+                raise EngineError(f"duplicate binding {ref.binding!r}")
+            self.sources[ref.binding] = _Source(ref.binding, ref.name, relation.attributes)
+        self.scope = CompileScope(
+            {b: s.columns for b, s in self.sources.items()}, parent=parent
+        )
+        #: resolutions into enclosing scopes (this block + its subblocks)
+        self.external: List[Resolution] = []
+        #: (local key, outer expression) equality probes
+        self.probes: List[Tuple[Key, _Expr]] = []
+        #: plain local equi-joins (key_a, key_b)
+        self.equi: List[Tuple[Key, Key]] = []
+        #: residual conditions (evaluated 3VL once their tables are bound)
+        self.residuals: List[_Cond] = []
+
+        self._compile_where(select.where)
+
+        # Runtime state, built lazily on first iteration.
+        self._filtered: Optional[Dict[str, List[Row]]] = None
+        self._order: Optional[List[Tuple[str, List[Tuple[int, object]]]]] = None
+        self._slotmap: Optional[Dict[Key, int]] = None
+        self._indexes: Dict[Tuple[str, Tuple[str, ...]], Dict[Tuple, List[Row]]] = {}
+        self._pre: List[_Cond] = []
+        self._attached: Optional[List[List[_Cond]]] = None
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def _compile_where(self, where: Optional[ast.SqlCond]) -> None:
+        if where is None:
+            return
+        conjuncts = (
+            where.items
+            if isinstance(where, ast.BoolOp) and where.op == "and"
+            else (where,)
+        )
+        for cond in conjuncts:
+            self._classify(cond)
+
+    def _classify(self, cond: ast.SqlCond) -> None:
+        # Plain local equality: equi-join or probe.
+        if isinstance(cond, ast.Comparison) and cond.op == "=":
+            left = self._try_column(cond.left)
+            right = self._try_column(cond.right)
+            if left is not None and right is not None:
+                if left.depth == 0 and right.depth == 0:
+                    if left.binding != right.binding:
+                        self.equi.append((left.key, right.key))
+                        return
+                elif left.depth == 0 or right.depth == 0:
+                    local, outer = (left, cond.right) if left.depth == 0 else (right, cond.left)
+                    self.probes.append((local.key, self._expr(outer)))
+                    return
+            elif left is not None and left.depth == 0 and self._is_outer_free(cond.right):
+                self.probes.append((left.key, self._expr(cond.right)))
+                return
+            elif right is not None and right.depth == 0 and self._is_outer_free(cond.left):
+                self.probes.append((right.key, self._expr(cond.left)))
+                return
+        compiled = self._cond(cond)
+        keys = compiled.local_keys
+        bindings = {binding for binding, _ in keys}
+        if (
+            len(bindings) == 1
+            and not compiled.has_outer
+            and not _contains_subquery(compiled)
+        ):
+            self.sources[next(iter(bindings))].filters.append(compiled)
+        else:
+            self.residuals.append(compiled)
+
+    def _try_column(self, expr: ast.SqlExpr) -> Optional[Resolution]:
+        if not isinstance(expr, ast.ColumnRef):
+            return None
+        resolution = self.scope.resolve(expr)
+        if resolution.depth > 0:
+            self.external.append(resolution)
+        return resolution
+
+    def _is_outer_free(self, expr: ast.SqlExpr) -> bool:
+        """True for literals/params/concats without column references."""
+        if isinstance(expr, (ast.Literal, ast.Param)):
+            return True
+        if isinstance(expr, ast.Concat):
+            return all(self._is_outer_free(p) for p in expr.parts)
+        return False
+
+    # -- expressions ----------------------------------------------------
+    def _expr(self, expr: ast.SqlExpr) -> _Expr:
+        if isinstance(expr, ast.ColumnRef):
+            resolution = self.scope.resolve(expr)
+            if resolution.depth > 0:
+                self.external.append(resolution)
+            return _Col(resolution)
+        if isinstance(expr, ast.Literal):
+            return _Const(expr.value)
+        if isinstance(expr, ast.Param):
+            if expr.name not in self.ctx.params:
+                raise EngineError(f"unbound parameter ${expr.name}")
+            return _Const(self.ctx.params[expr.name])
+        if isinstance(expr, ast.Concat):
+            return _Concat([self._expr(p) for p in expr.parts])
+        if isinstance(expr, ast.ScalarSubquery):
+            return self._scalar_subquery(expr.query)
+        if isinstance(expr, ast.Aggregate):
+            raise EngineError("aggregates are only supported in scalar subqueries")
+        raise EngineError(f"cannot compile expression {expr!r}")
+
+    def _scalar_subquery(self, query: ast.Query) -> _ScalarSubquery:
+        body = query.body
+        if query.ctes or not isinstance(body, ast.Select):
+            raise EngineError("scalar subqueries must be plain SELECT blocks")
+        if len(body.columns) != 1 or isinstance(body.columns[0], ast.Star):
+            raise EngineError("scalar subqueries must select a single value")
+        out = body.columns[0]
+        assert isinstance(out, ast.OutputColumn)
+        if not isinstance(out.expr, ast.Aggregate):
+            raise EngineError(
+                "only aggregate scalar subqueries are supported (the paper's "
+                "black-box case)"
+            )
+        sub = CompiledBlock(body, self.ctx, self.scope)
+        self._absorb_external(sub)
+        arg = None if out.expr.arg is None else sub._expr(out.expr.arg)
+        return _ScalarSubquery(sub, out.expr.func, arg)
+
+    # -- conditions -----------------------------------------------------
+    def _cond(self, cond: ast.SqlCond) -> _Cond:
+        if isinstance(cond, ast.Comparison):
+            return _Cmp(
+                cond.op,
+                self._expr(cond.left),
+                self._expr(cond.right),
+                self.ctx.marked_nulls,
+            )
+        if isinstance(cond, ast.IsNull):
+            return _IsNull(self._expr(cond.expr), cond.negated)
+        if isinstance(cond, ast.BoolOp):
+            return _Bool(cond.op, [self._cond(item) for item in cond.items])
+        if isinstance(cond, ast.NotOp):
+            return _Not(self._cond(cond.item))
+        if isinstance(cond, ast.BoolLiteral):
+            return _BoolConst(cond.value)
+        if isinstance(cond, ast.Exists):
+            sub = self._subblock(cond.query)
+            return _Exists(sub, cond.negated, self.scope)
+        if isinstance(cond, ast.InPredicate):
+            if cond.values is not None:
+                return _InValues(
+                    self._expr(cond.expr),
+                    [self._expr(v) for v in cond.values],
+                    cond.negated,
+                    self.ctx.marked_nulls,
+                )
+            assert cond.query is not None
+            sub_body = cond.query.body
+            if cond.query.ctes or not isinstance(sub_body, ast.Select):
+                raise EngineError("IN subqueries must be plain SELECT blocks")
+            if len(sub_body.columns) != 1 or isinstance(sub_body.columns[0], ast.Star):
+                raise EngineError("IN subqueries must select one column")
+            out = sub_body.columns[0]
+            assert isinstance(out, ast.OutputColumn)
+            sub = CompiledBlock(sub_body, self.ctx, self.scope)
+            self._absorb_external(sub)
+            out_expr = sub._expr(out.expr)
+            return _InSubquery(
+                self._expr(cond.expr), sub, out_expr, cond.negated, self.scope
+            )
+        raise EngineError(f"cannot compile condition {cond!r}")
+
+    def _subblock(self, query: ast.Query) -> "CompiledBlock":
+        body = query.body
+        if query.ctes or not isinstance(body, ast.Select):
+            raise EngineError("subqueries must be plain SELECT blocks")
+        sub = CompiledBlock(body, self.ctx, self.scope)
+        self._absorb_external(sub)
+        return sub
+
+    def _absorb_external(self, sub: "CompiledBlock") -> None:
+        """Resolutions of *sub* pointing above this block become ours."""
+        for res in sub.external:
+            if res.scope is not self.scope:
+                self.external.append(res)
+
+    # ------------------------------------------------------------------
+    # Runtime
+    # ------------------------------------------------------------------
+    def _filtered_rows(self, source: _Source) -> List[Row]:
+        relation = self.ctx.relation(source.table)
+        if not source.filters:
+            return relation.rows
+        slotmap = {(source.binding, col): i for i, col in enumerate(source.columns)}
+        kept = []
+        for row in relation.rows:
+            cursor = (slotmap, row)
+            if all(f.eval(cursor, {}) is TRUE for f in source.filters):
+                kept.append(row)
+        return kept
+
+    def _prepare(self, env_available: bool) -> None:
+        if self._order is not None:
+            return
+        self._filtered = {}  # filled lazily by _get_filtered
+        self._build_order(env_available)
+        self._attach_residuals()
+
+    def _get_filtered(self, binding: str) -> List[Row]:
+        assert self._filtered is not None
+        rows = self._filtered.get(binding)
+        if rows is None:
+            rows = self._filtered_rows(self.sources[binding])
+            self._filtered[binding] = rows
+        return rows
+
+    def _build_order(self, env_available: bool) -> None:
+        # Raw table sizes: good enough for greedy ordering and avoids
+        # materialising filters for blocks that short-circuit early.
+        sizes = {
+            b: len(self.ctx.relation(s.table).rows) for b, s in self.sources.items()
+        }
+        remaining = set(self.sources)
+        bound: Set[str] = set()
+        order: List[str] = []
+
+        def keyed(binding: str) -> bool:
+            if env_available and any(key[0] == binding for key, _ in self.probes):
+                return True
+            return any(
+                (a[0] == binding and b[0] in bound) or (b[0] == binding and a[0] in bound)
+                for a, b in self.equi
+            )
+
+        while remaining:
+            keyed_candidates = [b for b in remaining if keyed(b)]
+            pool = keyed_candidates or sorted(remaining)
+            choice = min(pool, key=lambda b: (sizes[b], b))
+            order.append(choice)
+            bound.add(choice)
+            remaining.discard(choice)
+
+        # Slot layout follows the join order.
+        slotmap: Dict[Key, int] = {}
+        offset = 0
+        for binding in order:
+            for col in self.sources[binding].columns:
+                slotmap[(binding, col)] = offset
+                offset += 1
+        self._slotmap = slotmap
+
+        # For each step, the equality keys usable to probe it.
+        steps: List[Tuple[str, List[Tuple[str, object]]]] = []
+        bound = set()
+        for binding in order:
+            keys: List[Tuple[str, object]] = []
+            for key, expr in self.probes:
+                if key[0] == binding:
+                    keys.append((key[1], ("env", expr)))
+            for a, b in self.equi:
+                if a[0] == binding and b[0] in bound:
+                    keys.append((a[1], ("row", b)))
+                elif b[0] == binding and a[0] in bound:
+                    keys.append((b[1], ("row", a)))
+            steps.append((binding, keys))
+            bound.add(binding)
+        self._order = steps
+
+    def _attach_residuals(self) -> None:
+        assert self._order is not None
+        bound_after: List[Set[str]] = []
+        bound: Set[str] = set()
+        for binding, _keys in self._order:
+            bound = bound | {binding}
+            bound_after.append(set(bound))
+        self._pre = []
+        self._attached = [[] for _ in self._order]
+        for cond in self.residuals:
+            bindings = {binding for binding, _ in cond.local_keys}
+            if not bindings:
+                self._pre.append(cond)
+                continue
+            for i, have in enumerate(bound_after):
+                if bindings <= have:
+                    self._attached[i].append(cond)
+                    break
+            else:  # pragma: no cover - resolution guarantees coverage
+                raise EngineError("residual references unbound tables")
+
+    def _index(self, binding: str, columns: Tuple[str, ...]) -> Dict[Tuple, List[Row]]:
+        cache_key = (binding, columns)
+        index = self._indexes.get(cache_key)
+        if index is None:
+            source = self.sources[binding]
+            positions = [source.columns.index(c) for c in columns]
+            index = {}
+            marked = self.ctx.marked_nulls
+            for row in self._get_filtered(binding):
+                key = tuple(row[p] for p in positions)
+                if not marked and any(is_null(v) for v in key):
+                    continue  # a null join key can never compare TRUE
+                index.setdefault(key, []).append(row)
+            self._indexes[cache_key] = index
+        return index
+
+    def iterate(self, env: Dict[Key, object]) -> Iterator[Tuple[Dict[Key, int], Row]]:
+        """Stream result rows as ``(slotmap, flat_tuple)`` cursors."""
+        self._prepare(env_available=bool(self.external) or bool(env) or bool(self.probes))
+        assert self._order is not None and self._slotmap is not None
+        assert self._attached is not None
+
+        # Uncorrelated/outer-only conditions: evaluate once per call; a
+        # FALSE or UNKNOWN short-circuits the whole block (Q+2's win).
+        for cond in self._pre:
+            if cond.eval((self._slotmap, ()), env) is not TRUE:
+                return
+
+        slotmap = self._slotmap
+        single = len(self._order) == 1
+
+        def rows_for(step_index: int, partial: Row) -> Iterator[Row]:
+            binding, keys = self._order[step_index]
+            if keys:
+                columns = tuple(col for col, _src in keys)
+                index = self._index(binding, columns)
+                probe: List[object] = []
+                for _col, src in keys:
+                    kind, payload = src
+                    if kind == "env":
+                        probe.append(payload.eval((slotmap, partial), env))
+                    else:
+                        probe.append(partial[slotmap[payload]])
+                if not self.ctx.marked_nulls and any(is_null(v) for v in probe):
+                    return iter(())
+                return iter(index.get(tuple(probe), ()))
+            return iter(self._get_filtered(binding))
+
+        def pipeline(step_index: int, partial: Row) -> Iterator[Row]:
+            checks = self._attached[step_index]
+            last = step_index == len(self._order) - 1
+            for row in rows_for(step_index, partial):
+                combined = partial + row
+                self.ctx.rows_examined += 1
+                cursor = (slotmap, combined)
+                if checks and not all(c.eval(cursor, env) is TRUE for c in checks):
+                    continue
+                if last:
+                    yield cursor
+                else:
+                    yield from pipeline(step_index + 1, combined)
+
+        if single:
+            # Stream straight off the (possibly filtered) table so that
+            # EXISTS probes short-circuit without materialising scans.
+            binding, keys = self._order[0]
+            checks = self._attached[0]
+            if keys:
+                rows: Iterator[Row] = rows_for(0, ())
+            else:
+                source = self.sources[binding]
+                if source.filters:
+                    rows = self._stream_filtered(source)
+                else:
+                    rows = iter(self.ctx.relation(source.table).rows)
+            for row in rows:
+                self.ctx.rows_examined += 1
+                cursor = (slotmap, row)
+                if checks and not all(c.eval(cursor, env) is TRUE for c in checks):
+                    continue
+                yield cursor
+            return
+        yield from pipeline(0, ())
+
+    def _stream_filtered(self, source: _Source) -> Iterator[Row]:
+        slotmap = {(source.binding, col): i for i, col in enumerate(source.columns)}
+        for row in self.ctx.relation(source.table).rows:
+            cursor = (slotmap, row)
+            if all(f.eval(cursor, {}) is TRUE for f in source.filters):
+                yield row
+
+
+def _contains_subquery(cond: _Cond) -> bool:
+    if isinstance(cond, (_Exists, _InSubquery)):
+        return True
+    if isinstance(cond, _Bool):
+        return any(_contains_subquery(item) for item in cond.items)
+    if isinstance(cond, _Not):
+        return _contains_subquery(cond.item)
+    if isinstance(cond, _Cmp):
+        return isinstance(cond.left, _ScalarSubquery) or isinstance(
+            cond.right, _ScalarSubquery
+        )
+    return False
+
+
+def compile_block(
+    select: ast.Select, ctx: ExecContext, parent: Optional[CompileScope] = None
+) -> CompiledBlock:
+    return CompiledBlock(select, ctx, parent)

@@ -1,0 +1,160 @@
+"""Top-level query execution: CTEs, set operations, output projection."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union as TUnion
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.engine.blocks import CompiledBlock, ExecContext
+from repro.engine.scope import EngineError
+from repro.sql import ast
+from repro.sql.parser import parse_sql
+
+__all__ = ["Executor", "execute_sql", "execute_query"]
+
+
+class Executor:
+    """Executes parsed queries against a database.
+
+    One executor instance corresponds to one statement execution: CTEs
+    are materialised once, uncorrelated subqueries are cached, and the
+    ``rows_examined`` counter on :attr:`ctx` reports how much work the
+    joins did (used by tests and the ablation benchmarks).
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        params: Optional[Dict[str, object]] = None,
+        marked_nulls: bool = False,
+    ):
+        self.ctx = ExecContext(db, params, marked_nulls=marked_nulls)
+
+    # ------------------------------------------------------------------
+    def execute(self, query: TUnion[ast.Query, ast.Select, ast.SetOp]) -> Relation:
+        query = ast.query_of(query)
+        for name, sub in query.ctes:
+            if name in self.ctx.ctes:
+                raise EngineError(f"duplicate WITH view {name!r}")
+            self.ctx.ctes[name] = self._run_query(sub)
+        return self._run_body(query.body)
+
+    # ------------------------------------------------------------------
+    def _run_query(self, query: ast.Query) -> Relation:
+        if query.ctes:
+            raise EngineError("nested WITH is not supported")
+        return self._run_body(query.body)
+
+    def _run_body(self, body: TUnion[ast.Select, ast.SetOp]) -> Relation:
+        if isinstance(body, ast.Select):
+            return self._run_select(body)
+        assert isinstance(body, ast.SetOp)
+        left = self._run_query(body.left)
+        right = self._run_query(body.right)
+        if left.arity != right.arity:
+            raise EngineError(
+                f"{body.op.upper()} operands have arity {left.arity} and {right.arity}"
+            )
+        if body.op == "union":
+            rows = list(left.rows) + list(right.rows)
+            if not body.all:
+                rows = list(dict.fromkeys(rows))
+            return Relation(left.attributes, rows)
+        if body.op == "intersect":
+            right_set = set(right.rows)
+            rows = [r for r in dict.fromkeys(left.rows) if r in right_set]
+            return Relation(left.attributes, rows)
+        right_set = set(right.rows)
+        rows = [r for r in dict.fromkeys(left.rows) if r not in right_set]
+        return Relation(left.attributes, rows)
+
+    # ------------------------------------------------------------------
+    def _run_select(self, select: ast.Select) -> Relation:
+        block = CompiledBlock(select, self.ctx, parent=None)
+        outputs = self._output_plan(select, block)
+        names = [name for name, _getter in outputs]
+        rows = []
+        for cursor in block.iterate({}):
+            rows.append(tuple(getter(cursor) for _name, getter in outputs))
+        if select.distinct:
+            rows = list(dict.fromkeys(rows))
+        return Relation(tuple(names), rows)
+
+    def _output_plan(self, select: ast.Select, block: CompiledBlock):
+        """Compile the SELECT list into (name, getter) pairs."""
+        outputs: List[Tuple[str, object]] = []
+        if len(select.columns) == 1 and isinstance(select.columns[0], ast.Star):
+            for binding, source in block.sources.items():
+                for column in source.columns:
+                    key = (binding, column)
+                    outputs.append((column, _slot_getter(key)))
+            return self._dedupe_names(outputs, block)
+        for col in select.columns:
+            if isinstance(col, ast.Star):
+                raise EngineError("* mixed with explicit output columns")
+            expr = block._expr(col.expr)
+            if col.alias:
+                name = col.alias
+            elif isinstance(col.expr, ast.ColumnRef):
+                name = col.expr.name
+            elif isinstance(col.expr, ast.Aggregate):
+                name = col.expr.func
+            else:
+                name = f"column{len(outputs) + 1}"
+            outputs.append((name, _expr_getter(expr)))
+        return self._dedupe_names(outputs, block)
+
+    @staticmethod
+    def _dedupe_names(outputs, block):
+        seen: Dict[str, int] = {}
+        result = []
+        for name, getter in outputs:
+            if name in seen:
+                seen[name] += 1
+                name = f"{name}_{seen[name]}"
+            else:
+                seen[name] = 0
+            result.append((name, getter))
+        return result
+
+
+def _slot_getter(key):
+    def getter(cursor):
+        slotmap, row = cursor
+        return row[slotmap[key]]
+
+    return getter
+
+
+def _expr_getter(expr):
+    def getter(cursor):
+        return expr.eval(cursor, {})
+
+    return getter
+
+
+def execute_query(
+    db: Database,
+    query: TUnion[ast.Query, ast.Select, ast.SetOp],
+    params: Optional[Dict[str, object]] = None,
+    marked_nulls: bool = False,
+) -> Relation:
+    """Execute a parsed query; returns a :class:`Relation`.
+
+    ``marked_nulls=True`` switches equality on the *same* null from
+    unknown to true — the Section 8 "marked nulls" evaluation mode.
+    """
+    return Executor(db, params, marked_nulls=marked_nulls).execute(ast.query_of(query))
+
+
+def execute_sql(
+    db: Database,
+    sql: TUnion[str, ast.Query, ast.Select, ast.SetOp],
+    params: Optional[Dict[str, object]] = None,
+    marked_nulls: bool = False,
+) -> Relation:
+    """Parse (if necessary) and execute SQL against *db*."""
+    if isinstance(sql, str):
+        sql = parse_sql(sql)
+    return execute_query(db, sql, params, marked_nulls=marked_nulls)

@@ -1,0 +1,82 @@
+"""Compile-time name resolution for the engine.
+
+Unlike the rewriter's :class:`repro.sql.nullability.Scope` (which
+resolves against a schema), the engine resolves against the actual
+relations present in the database and the materialised CTEs, so it
+works on schemaless ad-hoc databases too.  Resolutions carry the scope
+object they landed in, which is how correlated subqueries know which
+ancestor block must supply each outer value at run time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.sql import ast
+
+__all__ = ["CompileScope", "Resolution", "EngineError"]
+
+
+class EngineError(ValueError):
+    """Execution-time or compile-time engine failure."""
+
+
+class Resolution:
+    """Outcome of resolving a column reference."""
+
+    __slots__ = ("depth", "binding", "column", "scope")
+
+    def __init__(self, depth: int, binding: str, column: str, scope: "CompileScope"):
+        self.depth = depth
+        self.binding = binding
+        self.column = column
+        self.scope = scope
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.binding, self.column)
+
+    def __repr__(self) -> str:
+        return f"{self.binding}.{self.column}@{self.depth}"
+
+
+class CompileScope:
+    """binding → columns for one block, chained to the enclosing block."""
+
+    def __init__(
+        self,
+        bindings: Dict[str, Tuple[str, ...]],
+        parent: Optional["CompileScope"] = None,
+    ):
+        self.bindings = bindings
+        self.parent = parent
+
+    def resolve(self, column: ast.ColumnRef) -> Resolution:
+        scope: Optional[CompileScope] = self
+        depth = 0
+        while scope is not None:
+            found = scope._resolve_local(column)
+            if found is not None:
+                binding, col = found
+                return Resolution(depth, binding, col, scope)
+            scope = scope.parent
+            depth += 1
+        raise EngineError(f"cannot resolve column {column.display!r}")
+
+    def _resolve_local(self, column: ast.ColumnRef) -> Optional[Tuple[str, str]]:
+        if column.qualifier is not None:
+            if column.qualifier in self.bindings:
+                if column.name not in self.bindings[column.qualifier]:
+                    raise EngineError(
+                        f"no column {column.name!r} under binding {column.qualifier!r}"
+                    )
+                return (column.qualifier, column.name)
+            return None
+        owners = [
+            binding for binding, cols in self.bindings.items() if column.name in cols
+        ]
+        if len(owners) > 1:
+            raise EngineError(f"ambiguous column {column.name!r}")
+        if owners:
+            return (owners[0], column.name)
+        return None

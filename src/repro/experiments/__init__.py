@@ -1,0 +1,32 @@
+"""Experiment harnesses regenerating the paper's figures and tables.
+
+Each module exposes a ``run_*`` function returning plain data
+structures plus a ``main`` that prints the corresponding figure/table;
+the ``benchmarks/`` directory wires them into pytest-benchmark.
+
+================  ======================================  =====================
+Experiment        Paper artefact                          Module
+================  ======================================  =====================
+False positives   Figure 1                                ``falsepos``
+Price of          Figure 4                                ``performance``
+correctness
+Scaling           Table 1                                 ``scaling``
+Fig. 2 blow-up    Section 5 (prose)                       ``infeasible``
+Precision/recall  Section 7 (prose)                       ``recall``
+================  ======================================  =====================
+"""
+
+from repro.experiments.falsepos import run_false_positive_experiment
+from repro.experiments.performance import run_price_of_correctness, time_query
+from repro.experiments.scaling import run_scaling_experiment
+from repro.experiments.infeasible import run_infeasibility_experiment
+from repro.experiments.recall import run_recall_experiment
+
+__all__ = [
+    "run_false_positive_experiment",
+    "run_price_of_correctness",
+    "time_query",
+    "run_scaling_experiment",
+    "run_infeasibility_experiment",
+    "run_recall_experiment",
+]

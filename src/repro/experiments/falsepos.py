@@ -1,0 +1,92 @@
+"""Experiment E1 — Figure 1: how many false positives?
+
+For each null rate, generate DataFiller-style instances, run Q1–Q4 with
+random parameters, and measure the percentage of returned answers that
+the Section 4 detectors prove to be false positives (a lower bound, as
+in the paper).  Q2's detector applies to the whole answer set at once:
+if any ``o_custkey`` is null, every answer is false.
+
+Paper-scale settings (100 instances per rate, 5 parameter draws each)
+are reproduced by passing larger ``instances``/``executions``; defaults
+are sized for a laptop bench run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.engine import execute_sql
+from repro.fp.detectors import count_false_positives
+from repro.sql.parser import parse_sql
+from repro.tpch.datafiller import generate_small_instance
+from repro.tpch.nullify import inject_nulls
+from repro.tpch.queries import QUERIES, sample_parameters
+from repro.experiments.report import render_series
+
+__all__ = ["run_false_positive_experiment", "PAPER_NULL_RATES", "main"]
+
+#: The paper's x axis: 0.5%–6% in steps of 0.5%, then 7%–10% in steps of 1%.
+PAPER_NULL_RATES: Tuple[float, ...] = tuple(
+    round(0.005 * i, 4) for i in range(1, 13)
+) + (0.07, 0.08, 0.09, 0.10)
+
+
+def run_false_positive_experiment(
+    null_rates: Iterable[float] = (0.005, 0.02, 0.04, 0.06, 0.08, 0.10),
+    instances: int = 5,
+    executions: int = 3,
+    scale: float = 0.05,
+    seed: int = 0,
+    query_ids: Sequence[str] = ("Q1", "Q2", "Q3", "Q4"),
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Return ``{query: [(null rate, avg %% false positives), …]}``.
+
+    The average is over instances × parameter draws, counting executions
+    that returned at least one row (as a percentage of answers must).
+    """
+    rng = random.Random(seed)
+    parsed = {qid: parse_sql(QUERIES[qid][0]) for qid in query_ids}
+    series: Dict[str, List[Tuple[float, float]]] = {qid: [] for qid in query_ids}
+
+    for rate in null_rates:
+        percentages: Dict[str, List[float]] = {qid: [] for qid in query_ids}
+        for instance_no in range(instances):
+            base = generate_small_instance(
+                scale=scale, seed=rng.randrange(2**31)
+            )
+            db = inject_nulls(base, rate, seed=rng.randrange(2**31))
+            for qid in query_ids:
+                for _ in range(executions):
+                    params = sample_parameters(qid, db, rng=rng)
+                    answers = execute_sql(db, parsed[qid], params)
+                    if not answers.rows:
+                        continue
+                    fp = count_false_positives(qid, params, db, answers.rows)
+                    percentages[qid].append(100.0 * fp / len(answers.rows))
+        for qid in query_ids:
+            values = percentages[qid]
+            avg = sum(values) / len(values) if values else 0.0
+            series[qid].append((round(rate * 100, 2), avg))
+    return series
+
+
+def main(paper_scale: bool = False) -> str:
+    if paper_scale:
+        series = run_false_positive_experiment(
+            null_rates=PAPER_NULL_RATES, instances=100, executions=5, scale=1.0
+        )
+    else:
+        series = run_false_positive_experiment()
+    text = render_series(
+        "Figure 1 — average % of false positives per null rate",
+        "null rate %",
+        series,
+        y_format=lambda v: f"{v:.1f}",
+    )
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

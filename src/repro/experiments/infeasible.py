@@ -1,0 +1,139 @@
+"""Experiment E4 — Section 5: the Figure 2 translation is infeasible.
+
+The paper reports that the theoretically elegant ``Q → (Qt, Qf)``
+translation "starts running out of memory already on instances with
+fewer than 10³ tuples" because of its active-domain products.  We
+reproduce the comparison on the paper's own Section 6 example
+
+    Q  =  R − (π_α(T) − σ_θ(S))
+
+whose ``Qt`` requires ``adom²`` twice, against the Figure 3 ``Q+``:
+
+    Q+ =  R ▷⇑ (π_α(T) − σ_θ*(S))
+
+For growing instance sizes we evaluate both under a row budget and
+record time and the number of intermediate rows materialised; ``Qt``
+explodes quadratically and trips the budget while ``Q+`` stays linear.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Dict, List, Optional
+
+from repro.algebra.conditions import eq
+from repro.algebra.evaluate import EvaluationBudgetExceeded, Evaluator
+from repro.algebra.expr import Difference, Projection, RelationRef, Selection
+from repro.data.database import Database
+from repro.data.nulls import Null
+from repro.data.relation import Relation
+from repro.translate.improved import certain_query
+from repro.translate.libkin import translate_libkin
+from repro.experiments.report import render_table
+
+__all__ = ["run_infeasibility_experiment", "section6_example_query", "make_rst_database", "main"]
+
+
+def section6_example_query():
+    """``Q = R − (π_{A,B}(T) − σ_{C=1}(S))`` over R(A,B), S(A,B,C), T(A,B,C)."""
+    return Difference(
+        RelationRef("R"),
+        Difference(
+            Projection(RelationRef("T"), ("A", "B")),
+            Projection(Selection(RelationRef("S"), eq("C", 1)), ("A", "B")),
+        ),
+    )
+
+
+def make_rst_database(n: int, null_rate: float = 0.1, seed: int = 0) -> Database:
+    """Random R/S/T instance with ``3n`` tuples over a small domain."""
+    rng = random.Random(seed)
+
+    def cell():
+        if rng.random() < null_rate:
+            return Null()
+        return rng.randint(1, max(3, n // 2))
+
+    def rows(width, count):
+        return [tuple(cell() for _ in range(width)) for _ in range(count)]
+
+    return Database(
+        {
+            "R": Relation(("A", "B"), rows(2, n)),
+            "S": Relation(("A", "B", "C"), rows(3, n)),
+            "T": Relation(("A", "B", "C"), rows(3, n)),
+        }
+    )
+
+
+def run_infeasibility_experiment(
+    sizes=(10, 25, 50, 100, 200),
+    budget: int = 2_000_000,
+    null_rate: float = 0.1,
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """For each size, time ``Q+`` and ``Qt`` (with a row budget).
+
+    Returns a list of dicts with keys ``size``, ``plus_time``,
+    ``plus_rows``, ``libkin_time``, ``libkin_rows``, ``libkin_failed``.
+    """
+    query = section6_example_query()
+    results = []
+    for n in sizes:
+        db = make_rst_database(n, null_rate=null_rate, seed=seed + n)
+        q_plus = certain_query(query)
+        qt, _qf = translate_libkin(query, db)
+
+        evaluator = Evaluator(db, semantics="naive")
+        start = time.perf_counter()
+        evaluator.evaluate(q_plus)
+        plus_time = time.perf_counter() - start
+        plus_rows = evaluator.rows_produced
+
+        evaluator = Evaluator(db, semantics="naive", max_rows=budget)
+        start = time.perf_counter()
+        failed: Optional[str] = None
+        try:
+            evaluator.evaluate(qt)
+        except EvaluationBudgetExceeded as exc:
+            failed = str(exc)
+        libkin_time = time.perf_counter() - start
+        results.append(
+            {
+                "size": n,
+                "plus_time": plus_time,
+                "plus_rows": plus_rows,
+                "libkin_time": libkin_time,
+                "libkin_rows": evaluator.rows_produced,
+                "libkin_failed": failed,
+            }
+        )
+    return results
+
+
+def main() -> str:
+    results = run_infeasibility_experiment()
+    rows = []
+    for r in results:
+        rows.append(
+            [
+                str(r["size"]),
+                f"{r['plus_time'] * 1000:.1f}",
+                str(r["plus_rows"]),
+                f"{r['libkin_time'] * 1000:.1f}",
+                str(r["libkin_rows"]),
+                "BUDGET EXCEEDED" if r["libkin_failed"] else "ok",
+            ]
+        )
+    text = render_table(
+        "Section 5 — Figure 2 translation (Qt) vs Figure 3 (Q+), Section 6 example",
+        ["|R|=|S|=|T|", "Q+ ms", "Q+ rows", "Qt ms", "Qt rows", "Qt status"],
+        rows,
+    )
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""False-positive detectors for Q1–Q4 (Section 4)."""
+
+from repro.fp.detectors import (
+    detect_q1_false_positive,
+    detect_q2_false_positive,
+    detect_q3_false_positive,
+    detect_q4_false_positive,
+    detector_for,
+    count_false_positives,
+)
+
+__all__ = [
+    "detect_q1_false_positive",
+    "detect_q2_false_positive",
+    "detect_q3_false_positive",
+    "detect_q4_false_positive",
+    "detector_for",
+    "count_false_positives",
+]

@@ -1,0 +1,169 @@
+"""Specialised false-positive detectors (Section 4, Algorithms 1 and 2).
+
+Computing certain answers is coNP-hard, so the paper instead detects
+*some* false positives with cheap query-specific checks, yielding a
+lower bound on the false-positive rate.  Each detector takes the
+parameter bindings, the database and one answer tuple, and returns
+``True`` if the tuple is provably not a certain answer.
+
+The common idea: find a null in a comparison relevant to the answer's
+``NOT EXISTS`` — the unknown value could be chosen so that the excluded
+witness exists, falsifying the answer.
+
+All detectors are validated against brute-force certain answers on tiny
+instances in ``tests/fp/test_detectors_sound.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Sequence, Tuple
+
+from repro.algebra.conditions import like_match
+from repro.data.database import Database
+from repro.data.nulls import is_null
+
+__all__ = [
+    "detect_q1_false_positive",
+    "detect_q2_false_positive",
+    "detect_q3_false_positive",
+    "detect_q4_false_positive",
+    "detector_for",
+    "count_false_positives",
+]
+
+Row = Tuple[object, ...]
+
+
+def detect_q1_false_positive(
+    params: Dict[str, object], db: Database, answer: Row
+) -> bool:
+    """Algorithm 1.
+
+    ``answer`` is ``(s_suppkey, o_orderkey)``.  Scan the order's
+    lineitems: a *different* (or unknown) supplier whose delivery dates
+    are late or unknown can be interpreted as a second late supplier,
+    falsifying the ``NOT EXISTS``.
+    """
+    s_suppkey, o_orderkey = answer
+    lineitem = db["lineitem"]
+    i_okey = lineitem.index_of("l_orderkey")
+    i_skey = lineitem.index_of("l_suppkey")
+    i_commit = lineitem.index_of("l_commitdate")
+    i_receipt = lineitem.index_of("l_receiptdate")
+    for t in lineitem.hash_index("l_orderkey").get(o_orderkey, ()):
+        assert t[i_okey] == o_orderkey
+        x = t[i_skey]
+        if not is_null(x) and x == s_suppkey:
+            continue
+        d1, d2 = t[i_commit], t[i_receipt]
+        if is_null(d1) or is_null(d2) or d2 > d1:
+            return True
+    return False
+
+
+def detect_q2_false_positive(
+    params: Dict[str, object], db: Database, answer: Row
+) -> bool:
+    """Q2 check: an order with unknown customer could belong to anyone —
+    including the answer customer — so *every* answer is falsifiable."""
+    orders = db["orders"]
+    i_cust = orders.index_of("o_custkey")
+    return any(is_null(row[i_cust]) for row in orders.rows)
+
+
+def detect_q3_false_positive(
+    params: Dict[str, object], db: Database, answer: Row
+) -> bool:
+    """Q3 check: a lineitem of the order with unknown supplier may well
+    be from a different supplier than ``$supp_key``."""
+    (o_orderkey,) = answer
+    lineitem = db["lineitem"]
+    i_skey = lineitem.index_of("l_suppkey")
+    return any(
+        is_null(t[i_skey])
+        for t in lineitem.hash_index("l_orderkey").get(o_orderkey, ())
+    )
+
+
+def detect_q4_false_positive(
+    params: Dict[str, object], db: Database, answer: Row
+) -> bool:
+    """Algorithm 2.
+
+    For each lineitem of the order, check whether some interpretation of
+    the nulls produces a part with the colour (``P``) *and* a supplier
+    from the nation (``S``); if both, the ``NOT EXISTS`` is falsifiable.
+    """
+    (o_orderkey,) = answer
+    color = str(params["color"])
+    nation_name = params["nation"]
+
+    lineitem = db["lineitem"]
+    part = db["part"]
+    supplier = db["supplier"]
+    nation = db["nation"]
+
+    i_partkey = lineitem.index_of("l_partkey")
+    i_suppkey = lineitem.index_of("l_suppkey")
+    p_key = part.index_of("p_partkey")
+    p_name = part.index_of("p_name")
+    s_key = supplier.index_of("s_suppkey")
+    s_nat = supplier.index_of("s_nationkey")
+    n_key = nation.index_of("n_nationkey")
+    n_name = nation.index_of("n_name")
+
+    def part_matches(partkey) -> bool:
+        if is_null(partkey):
+            candidates: Iterable[Row] = part.rows
+        else:
+            candidates = part.hash_index("p_partkey").get(partkey, ())
+        for p in candidates:
+            name = p[p_name]
+            if is_null(name) or like_match(name, f"%{color}%"):
+                return True
+        return False
+
+    def supplier_matches(suppkey) -> bool:
+        if is_null(suppkey):
+            candidates: Iterable[Row] = supplier.rows
+        else:
+            candidates = supplier.hash_index("s_suppkey").get(suppkey, ())
+        for s in candidates:
+            x = s[s_nat]
+            if is_null(x):
+                return True
+            for n in nation.hash_index("n_nationkey").get(x, ()):
+                if n[n_name] == nation_name:
+                    return True
+        return False
+
+    for t in lineitem.hash_index("l_orderkey").get(o_orderkey, ()):
+        if part_matches(t[i_partkey]) and supplier_matches(t[i_suppkey]):
+            return True
+    return False
+
+
+_DETECTORS: Dict[str, Callable[[Dict[str, object], Database, Row], bool]] = {
+    "Q1": detect_q1_false_positive,
+    "Q2": detect_q2_false_positive,
+    "Q3": detect_q3_false_positive,
+    "Q4": detect_q4_false_positive,
+}
+
+
+def detector_for(query_id: str) -> Callable[[Dict[str, object], Database, Row], bool]:
+    try:
+        return _DETECTORS[query_id]
+    except KeyError:
+        raise KeyError(f"no detector for {query_id!r}; have {sorted(_DETECTORS)}") from None
+
+
+def count_false_positives(
+    query_id: str,
+    params: Dict[str, object],
+    db: Database,
+    answers: Sequence[Row],
+) -> int:
+    """How many of *answers* are provably false positives (lower bound)."""
+    detect = detector_for(query_id)
+    return sum(1 for answer in answers if detect(params, db, answer))

@@ -1,0 +1,287 @@
+"""Abstract syntax trees for the SQL fragment of the paper.
+
+Scalar expressions and predicates are separate hierarchies; queries are
+``Select`` blocks possibly combined by set operations and prefixed by
+``WITH`` views.  All nodes are immutable dataclasses, so rewrites build
+new trees (the rewriter relies on structural sharing being safe).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union as TUnion
+
+__all__ = [
+    "ColumnRef",
+    "Literal",
+    "Param",
+    "Concat",
+    "Aggregate",
+    "ScalarSubquery",
+    "SqlExpr",
+    "Comparison",
+    "IsNull",
+    "Exists",
+    "InPredicate",
+    "BoolOp",
+    "NotOp",
+    "BoolLiteral",
+    "SqlCond",
+    "OutputColumn",
+    "Star",
+    "TableRef",
+    "Select",
+    "SetOp",
+    "Query",
+    "query_of",
+]
+
+
+# ---------------------------------------------------------------------------
+# Scalar expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """``qualifier.name`` or bare ``name`` (resolved against scopes)."""
+
+    name: str
+    qualifier: Optional[str] = None
+
+    @property
+    def display(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+    def __repr__(self) -> str:
+        return self.display
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: object
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Param:
+    """A ``$name`` placeholder bound at execution time."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"${self.name}"
+
+
+@dataclass(frozen=True)
+class Concat:
+    """String concatenation ``a || b || …`` (null-propagating)."""
+
+    parts: Tuple["SqlExpr", ...]
+
+    def __repr__(self) -> str:
+        return "||".join(map(repr, self.parts))
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """``func(arg)`` with ``arg=None`` meaning ``COUNT(*)``."""
+
+    func: str  # 'avg' | 'sum' | 'count' | 'min' | 'max'
+    arg: Optional["SqlExpr"]
+
+    def __repr__(self) -> str:
+        return f"{self.func}({'*' if self.arg is None else repr(self.arg)})"
+
+
+@dataclass(frozen=True)
+class ScalarSubquery:
+    """A subquery used as a scalar value (the paper's aggregate black box)."""
+
+    query: "Query"
+
+    def __repr__(self) -> str:
+        return "(scalar subquery)"
+
+
+SqlExpr = TUnion[ColumnRef, Literal, Param, Concat, Aggregate, ScalarSubquery]
+
+
+# ---------------------------------------------------------------------------
+# Predicates
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Comparison:
+    op: str  # '=', '<>', '<', '<=', '>', '>=', 'like', 'not like'
+    left: SqlExpr
+    right: SqlExpr
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True)
+class IsNull:
+    expr: SqlExpr
+    negated: bool = False
+
+    def __repr__(self) -> str:
+        return f"({self.expr!r} IS {'NOT ' if self.negated else ''}NULL)"
+
+
+@dataclass(frozen=True)
+class Exists:
+    query: "Query"
+    negated: bool = False
+
+    def __repr__(self) -> str:
+        return f"{'NOT ' if self.negated else ''}EXISTS(…)"
+
+
+@dataclass(frozen=True)
+class InPredicate:
+    """``expr [NOT] IN (values…)`` or ``expr [NOT] IN (subquery)``."""
+
+    expr: SqlExpr
+    values: Optional[Tuple[SqlExpr, ...]] = None
+    query: Optional["Query"] = None
+    negated: bool = False
+
+    def __post_init__(self):
+        if (self.values is None) == (self.query is None):
+            raise ValueError("InPredicate needs exactly one of values/query")
+
+    def __repr__(self) -> str:
+        target = "…" if self.query else ", ".join(map(repr, self.values or ()))
+        return f"({self.expr!r} {'NOT ' if self.negated else ''}IN ({target}))"
+
+
+@dataclass(frozen=True)
+class BoolOp:
+    """N-ary AND / OR (flattened on construction)."""
+
+    op: str  # 'and' | 'or'
+    items: Tuple["SqlCond", ...]
+
+    def __init__(self, op: str, *items: "SqlCond"):
+        if op not in ("and", "or"):
+            raise ValueError(f"bad boolean operator {op!r}")
+        flattened = []
+        for item in items:
+            if isinstance(item, BoolOp) and item.op == op:
+                flattened.extend(item.items)
+            else:
+                flattened.append(item)
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "items", tuple(flattened))
+
+    def __repr__(self) -> str:
+        return "(" + f" {self.op.upper()} ".join(map(repr, self.items)) + ")"
+
+
+@dataclass(frozen=True)
+class NotOp:
+    item: "SqlCond"
+
+    def __repr__(self) -> str:
+        return f"NOT {self.item!r}"
+
+
+@dataclass(frozen=True)
+class BoolLiteral:
+    value: bool
+
+    def __repr__(self) -> str:
+        return "TRUE" if self.value else "FALSE"
+
+
+SqlCond = TUnion[Comparison, IsNull, Exists, InPredicate, BoolOp, NotOp, BoolLiteral]
+
+
+# ---------------------------------------------------------------------------
+# Queries
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Star:
+    """``SELECT *``."""
+
+    def __repr__(self) -> str:
+        return "*"
+
+
+@dataclass(frozen=True)
+class OutputColumn:
+    expr: SqlExpr
+    alias: Optional[str] = None
+
+    def __repr__(self) -> str:
+        return f"{self.expr!r}" + (f" AS {self.alias}" if self.alias else "")
+
+
+@dataclass(frozen=True)
+class TableRef:
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        """The name this table is known by inside the query block."""
+        return self.alias or self.name
+
+    def __repr__(self) -> str:
+        return self.name + (f" {self.alias}" if self.alias else "")
+
+
+@dataclass(frozen=True)
+class Select:
+    columns: Tuple[TUnion[OutputColumn, Star], ...]
+    tables: Tuple[TableRef, ...]
+    where: Optional[SqlCond] = None
+    distinct: bool = False
+
+    def __repr__(self) -> str:
+        return (
+            f"SELECT{' DISTINCT' if self.distinct else ''} "
+            f"{', '.join(map(repr, self.columns))} FROM "
+            f"{', '.join(map(repr, self.tables))}"
+            + (f" WHERE {self.where!r}" if self.where else "")
+        )
+
+
+@dataclass(frozen=True)
+class SetOp:
+    """``left UNION|INTERSECT|EXCEPT [ALL] right`` (set semantics default)."""
+
+    op: str  # 'union' | 'intersect' | 'except'
+    left: "Query"
+    right: "Query"
+    all: bool = False
+
+    def __post_init__(self):
+        if self.op not in ("union", "intersect", "except"):
+            raise ValueError(f"bad set operation {self.op!r}")
+
+
+@dataclass(frozen=True)
+class Query:
+    """A query body plus its ``WITH`` views (may be empty)."""
+
+    body: TUnion[Select, SetOp]
+    ctes: Tuple[Tuple[str, "Query"], ...] = ()
+
+    def __repr__(self) -> str:
+        prefix = f"WITH {', '.join(n for n, _ in self.ctes)} " if self.ctes else ""
+        return prefix + repr(self.body)
+
+
+def query_of(body: TUnion[Select, SetOp, Query]) -> Query:
+    """Wrap a bare Select/SetOp into a Query (idempotent)."""
+    if isinstance(body, Query):
+        return body
+    return Query(body=body)

@@ -1,0 +1,434 @@
+"""Compile relational algebra into executable SQL (the paper's path).
+
+Section 7: *"we shall take SQL queries Q1–Q4, apply the translation
+Q → Q+ to their relational algebra equivalents, and then run the
+results of the translation as SQL queries."*  This module provides that
+last leg: any algebra expression — including the outputs of the
+Figure 2 and Figure 3 translations — becomes a ``WITH``-chain of SQL
+views, one per operator, ending in a ``SELECT`` over the last view.
+
+Operator mapping:
+
+=====================  ====================================================
+σ, π, ρ                ``SELECT … FROM prev WHERE …``
+×, ⋈                   two views in one ``FROM`` (equality/θ in ``WHERE``)
+∪, ∩, −                ``UNION`` / ``INTERSECT`` / ``EXCEPT``
+⋉θ / ▷θ                ``[NOT] EXISTS`` correlated subquery
+⋉⇑ / ▷⇑                ``[NOT] EXISTS`` with per-column weakened equality
+                       ``l.c = r.c OR l.c IS NULL OR r.c IS NULL``
+÷                      double ``NOT EXISTS`` (the classical encoding)
+adomᵏ                  ``adom`` view (union of all columns of all
+                       relations), self-joined k times
+=====================  ====================================================
+
+Column names are canonicalised to ``c0 … cn`` per view, so arbitrary
+algebra attribute names (``l1.l_suppkey``) never leak into SQL
+identifiers.
+
+Semantics note: the unification semijoins compile to the *position-wise*
+(Codd) test — exact for non-repeating nulls, a sound approximation for
+marked nulls (Corollary 1).  That is precisely the SQL-adjusted reading
+the paper executes on PostgreSQL.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.algebra import conditions as AC
+from repro.algebra.expr import (
+    AdomPower,
+    AntiJoin,
+    Difference,
+    Division,
+    Expr,
+    Intersection,
+    Join,
+    Literal,
+    Product,
+    Projection,
+    RelationRef,
+    Rename,
+    Selection,
+    SemiJoin,
+    Union,
+    UnifAntiJoin,
+    UnifSemiJoin,
+)
+from repro.algebra.infer import attribute_lookup, output_attributes
+from repro.sql import ast
+
+__all__ = ["algebra_to_sql", "AlgebraToSqlError"]
+
+
+class AlgebraToSqlError(ValueError):
+    """The expression cannot be compiled to the supported SQL fragment."""
+
+
+class _Compiler:
+    def __init__(self, schema_source):
+        self._lookup = (
+            schema_source if callable(schema_source) else attribute_lookup(schema_source)
+        )
+        self.views: List[Tuple[str, ast.Query]] = []
+        self._counter = 0
+        self._adom_view: Optional[str] = None
+        self._relations: Optional[Tuple[str, ...]] = None
+
+    # ------------------------------------------------------------------
+    def fresh_view(self, body) -> str:
+        name = f"v{self._counter}"
+        self._counter += 1
+        self.views.append((name, ast.query_of(body)))
+        return name
+
+    @staticmethod
+    def _select_all(view: str, alias: Optional[str] = None) -> ast.Select:
+        return ast.Select(
+            columns=(ast.Star(),), tables=(ast.TableRef(view, alias),)
+        )
+
+    def _attrs(self, expr: Expr) -> Tuple[str, ...]:
+        return output_attributes(expr, self._lookup)
+
+    # ------------------------------------------------------------------
+    # Conditions: algebra attribute names → view column references
+    # ------------------------------------------------------------------
+    def _term(self, term: AC.Term, mapping: Dict[str, ast.ColumnRef]) -> ast.SqlExpr:
+        if isinstance(term, AC.Attr):
+            try:
+                return mapping[term.name]
+            except KeyError:
+                raise AlgebraToSqlError(
+                    f"attribute {term.name!r} not available; have {sorted(mapping)}"
+                ) from None
+        return ast.Literal(term.value)
+
+    def _condition(self, cond: AC.Condition, mapping: Dict[str, ast.ColumnRef]) -> ast.SqlCond:
+        if isinstance(cond, AC.TrueCond):
+            return ast.BoolLiteral(True)
+        if isinstance(cond, AC.FalseCond):
+            return ast.BoolLiteral(False)
+        if isinstance(cond, AC.And):
+            return ast.BoolOp("and", *[self._condition(c, mapping) for c in cond.items])
+        if isinstance(cond, AC.Or):
+            return ast.BoolOp("or", *[self._condition(c, mapping) for c in cond.items])
+        if isinstance(cond, AC.Not):
+            return ast.NotOp(self._condition(cond.item, mapping))
+        if isinstance(cond, AC.NullTest):
+            return ast.IsNull(self._term(cond.term, mapping), negated=not cond.is_null)
+        if isinstance(cond, AC.Comparison):
+            return ast.Comparison(
+                cond.op, self._term(cond.left, mapping), self._term(cond.right, mapping)
+            )
+        raise AlgebraToSqlError(f"cannot compile condition {cond!r}")
+
+    @staticmethod
+    def _mapping(attrs: Tuple[str, ...], qualifier: Optional[str] = None) -> Dict[str, ast.ColumnRef]:
+        return {
+            attr: ast.ColumnRef(f"c{i}", qualifier) for i, attr in enumerate(attrs)
+        }
+
+    # ------------------------------------------------------------------
+    # Expression compilation: returns the view name holding the result,
+    # whose columns are c0..cn in the order of the algebra attributes.
+    # ------------------------------------------------------------------
+    def compile(self, expr: Expr) -> str:
+        method = getattr(self, f"_compile_{type(expr).__name__}", None)
+        if method is None:
+            raise AlgebraToSqlError(f"cannot compile {type(expr).__name__} to SQL")
+        return method(expr)
+
+    def _canonical_base(self, name: str, attrs: Tuple[str, ...]) -> ast.Select:
+        return ast.Select(
+            columns=tuple(
+                ast.OutputColumn(ast.ColumnRef(attr), alias=f"c{i}")
+                for i, attr in enumerate(attrs)
+            ),
+            tables=(ast.TableRef(name),),
+            distinct=True,
+        )
+
+    def _compile_RelationRef(self, expr: RelationRef) -> str:
+        attrs = tuple(self._lookup(expr.name))
+        return self.fresh_view(self._canonical_base(expr.name, attrs))
+
+    def _compile_Literal(self, expr: Literal) -> str:
+        raise AlgebraToSqlError(
+            "inline literal relations have no SQL form; materialise them as "
+            "database tables first"
+        )
+
+    def _compile_Selection(self, expr: Selection) -> str:
+        child = self.compile(expr.child)
+        mapping = self._mapping(self._attrs(expr.child))
+        return self.fresh_view(
+            ast.Select(
+                columns=(ast.Star(),),
+                tables=(ast.TableRef(child),),
+                where=self._condition(expr.condition, mapping),
+            )
+        )
+
+    def _compile_Projection(self, expr: Projection) -> str:
+        child = self.compile(expr.child)
+        child_attrs = self._attrs(expr.child)
+        position = {attr: i for i, attr in enumerate(child_attrs)}
+        columns = tuple(
+            ast.OutputColumn(ast.ColumnRef(f"c{position[attr]}"), alias=f"c{i}")
+            for i, attr in enumerate(expr.attributes)
+        )
+        return self.fresh_view(
+            ast.Select(columns=columns, tables=(ast.TableRef(child),), distinct=True)
+        )
+
+    def _compile_Rename(self, expr: Rename) -> str:
+        # Canonical columns are positional; renaming is a no-op in SQL.
+        return self.compile(expr.child)
+
+    def _binary_from(self, expr) -> Tuple[str, str, Dict[str, ast.ColumnRef], Tuple[ast.OutputColumn, ...]]:
+        left = self.compile(expr.left)
+        right = self.compile(expr.right)
+        left_attrs = self._attrs(expr.left)
+        right_attrs = self._attrs(expr.right)
+        mapping = self._mapping(left_attrs, "l")
+        mapping.update(
+            {
+                attr: ast.ColumnRef(f"c{i}", "r")
+                for i, attr in enumerate(right_attrs)
+            }
+        )
+        columns = tuple(
+            ast.OutputColumn(ast.ColumnRef(f"c{i}", "l"), alias=f"c{i}")
+            for i in range(len(left_attrs))
+        ) + tuple(
+            ast.OutputColumn(ast.ColumnRef(f"c{i}", "r"), alias=f"c{len(left_attrs) + i}")
+            for i in range(len(right_attrs))
+        )
+        return left, right, mapping, columns
+
+    def _compile_Product(self, expr: Product) -> str:
+        left, right, _mapping, columns = self._binary_from(expr)
+        return self.fresh_view(
+            ast.Select(
+                columns=columns,
+                tables=(ast.TableRef(left, "l"), ast.TableRef(right, "r")),
+                distinct=True,
+            )
+        )
+
+    def _compile_Join(self, expr: Join) -> str:
+        left, right, mapping, columns = self._binary_from(expr)
+        return self.fresh_view(
+            ast.Select(
+                columns=columns,
+                tables=(ast.TableRef(left, "l"), ast.TableRef(right, "r")),
+                where=self._condition(expr.condition, mapping),
+                distinct=True,
+            )
+        )
+
+    def _set_op(self, expr, op: str) -> str:
+        left = self.compile(expr.left)
+        right = self.compile(expr.right)
+        return self.fresh_view(
+            ast.SetOp(
+                op=op,
+                left=ast.query_of(self._select_all(left)),
+                right=ast.query_of(self._select_all(right)),
+            )
+        )
+
+    def _compile_Union(self, expr: Union) -> str:
+        return self._set_op(expr, "union")
+
+    def _compile_Intersection(self, expr: Intersection) -> str:
+        return self._set_op(expr, "intersect")
+
+    def _compile_Difference(self, expr: Difference) -> str:
+        return self._set_op(expr, "except")
+
+    def _exists_view(self, expr, inner_where: ast.SqlCond, negated: bool) -> str:
+        left = self.compile(expr.left)
+        right = self.compile(expr.right)
+        sub = ast.Exists(
+            ast.Query(
+                ast.Select(
+                    columns=(ast.Star(),),
+                    tables=(ast.TableRef(right, "r"),),
+                    where=inner_where,
+                )
+            ),
+            negated=negated,
+        )
+        return self.fresh_view(
+            ast.Select(
+                columns=(ast.Star(),),
+                tables=(ast.TableRef(left, "l"),),
+                where=sub,
+            )
+        )
+
+    def _theta_semi_where(self, expr) -> ast.SqlCond:
+        left_attrs = self._attrs(expr.left)
+        right_attrs = self._attrs(expr.right)
+        mapping = self._mapping(left_attrs, "l")
+        mapping.update(
+            {attr: ast.ColumnRef(f"c{i}", "r") for i, attr in enumerate(right_attrs)}
+        )
+        return self._condition(expr.condition, mapping)
+
+    def _compile_SemiJoin(self, expr: SemiJoin) -> str:
+        return self._exists_view(expr, self._theta_semi_where(expr), negated=False)
+
+    def _compile_AntiJoin(self, expr: AntiJoin) -> str:
+        return self._exists_view(expr, self._theta_semi_where(expr), negated=True)
+
+    def _unification_where(self, arity: int) -> ast.SqlCond:
+        """Position-wise unifiability: per column, equal or either null."""
+        conjuncts: List[ast.SqlCond] = []
+        for i in range(arity):
+            l_col = ast.ColumnRef(f"c{i}", "l")
+            r_col = ast.ColumnRef(f"c{i}", "r")
+            conjuncts.append(
+                ast.BoolOp(
+                    "or",
+                    ast.Comparison("=", l_col, r_col),
+                    ast.IsNull(l_col),
+                    ast.IsNull(r_col),
+                )
+            )
+        return conjuncts[0] if len(conjuncts) == 1 else ast.BoolOp("and", *conjuncts)
+
+    def _compile_UnifSemiJoin(self, expr: UnifSemiJoin) -> str:
+        arity = len(self._attrs(expr.left))
+        return self._exists_view(expr, self._unification_where(arity), negated=False)
+
+    def _compile_UnifAntiJoin(self, expr: UnifAntiJoin) -> str:
+        arity = len(self._attrs(expr.left))
+        return self._exists_view(expr, self._unification_where(arity), negated=True)
+
+    def _compile_Division(self, expr: Division) -> str:
+        """``v1 ÷ v2``: keep-tuples x with no divisor tuple y missing a
+        witness (x, y) in v1 — the classical double NOT EXISTS."""
+        left = self.compile(expr.left)
+        right = self.compile(expr.right)
+        left_attrs = self._attrs(expr.left)
+        right_attrs = self._attrs(expr.right)
+        keep = [a for a in left_attrs if a not in set(right_attrs)]
+        position = {attr: i for i, attr in enumerate(left_attrs)}
+
+        witness = ast.Select(
+            columns=(ast.Star(),),
+            tables=(ast.TableRef(left, "w"),),
+            where=ast.BoolOp(
+                "and",
+                *[
+                    ast.Comparison(
+                        "=",
+                        ast.ColumnRef(f"c{position[attr]}", "w"),
+                        ast.ColumnRef(f"c{position[attr]}", "x"),
+                    )
+                    for attr in keep
+                ],
+                *[
+                    ast.Comparison(
+                        "=",
+                        ast.ColumnRef(f"c{position[attr]}", "w"),
+                        ast.ColumnRef(f"c{i}", "y"),
+                    )
+                    for i, attr in enumerate(right_attrs)
+                ],
+            ),
+        )
+        missing_divisor = ast.Select(
+            columns=(ast.Star(),),
+            tables=(ast.TableRef(right, "y"),),
+            where=ast.Exists(ast.Query(witness), negated=True),
+        )
+        columns = tuple(
+            ast.OutputColumn(ast.ColumnRef(f"c{position[attr]}", "x"), alias=f"c{i}")
+            for i, attr in enumerate(keep)
+        )
+        return self.fresh_view(
+            ast.Select(
+                columns=columns,
+                tables=(ast.TableRef(left, "x"),),
+                where=ast.Exists(ast.Query(missing_divisor), negated=True),
+                distinct=True,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # adom^k: a union-of-all-columns view, self-joined k times.
+    # ------------------------------------------------------------------
+    def set_relations(self, relations: Tuple[str, ...]) -> None:
+        self._relations = relations
+
+    def _adom(self) -> str:
+        if self._adom_view is not None:
+            return self._adom_view
+        if not self._relations:
+            raise AlgebraToSqlError(
+                "adom^k needs the database's relation names; pass a Database "
+                "or DatabaseSchema as schema_source"
+            )
+        branches: List[ast.Query] = []
+        for relation in self._relations:
+            for attr in self._lookup(relation):
+                branches.append(
+                    ast.query_of(
+                        ast.Select(
+                            columns=(ast.OutputColumn(ast.ColumnRef(attr), alias="c0"),),
+                            tables=(ast.TableRef(relation),),
+                        )
+                    )
+                )
+        body: ast.Query = branches[0]
+        for branch in branches[1:]:
+            body = ast.query_of(ast.SetOp(op="union", left=body, right=branch))
+        self._adom_view = self.fresh_view(body)
+        return self._adom_view
+
+    def _compile_AdomPower(self, expr: AdomPower) -> str:
+        adom = self._adom()
+        k = len(expr.attributes)
+        tables = tuple(ast.TableRef(adom, f"a{i}") for i in range(k))
+        columns = tuple(
+            ast.OutputColumn(ast.ColumnRef("c0", f"a{i}"), alias=f"c{i}")
+            for i in range(k)
+        )
+        return self.fresh_view(
+            ast.Select(columns=columns, tables=tables, distinct=True)
+        )
+
+
+def algebra_to_sql(expr: Expr, schema_source) -> ast.Query:
+    """Compile an algebra expression into an executable SQL query.
+
+    ``schema_source`` supplies base-relation attribute names (and, for
+    ``adom^k``, the list of relations): a
+    :class:`~repro.data.database.Database`, a
+    :class:`~repro.data.schema.DatabaseSchema` or a dict.  The result's
+    output columns are named ``c0 … cn``, positionally matching the
+    expression's attributes.
+    """
+    compiler = _Compiler(schema_source)
+    # Remember relation names for adom^k if we were handed a catalogue.
+    from repro.data.database import Database
+    from repro.data.schema import DatabaseSchema
+
+    if isinstance(schema_source, Database):
+        compiler.set_relations(schema_source.relation_names())
+    elif isinstance(schema_source, DatabaseSchema):
+        compiler.set_relations(schema_source.relation_names())
+    elif isinstance(schema_source, dict):
+        compiler.set_relations(tuple(schema_source))
+
+    final = compiler.compile(expr)
+    return ast.Query(
+        body=ast.Select(
+            columns=(ast.Star(),), tables=(ast.TableRef(final),), distinct=True
+        ),
+        ctes=tuple(compiler.views),
+    )

@@ -1,0 +1,132 @@
+"""Hand-written SQL lexer for the paper's query fragment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+__all__ = ["Token", "tokenize", "SqlSyntaxError", "KEYWORDS"]
+
+
+class SqlSyntaxError(ValueError):
+    """Raised on malformed SQL input, with position information."""
+
+    def __init__(self, message: str, position: int, text: str):
+        line = text.count("\n", 0, position) + 1
+        col = position - (text.rfind("\n", 0, position) + 1) + 1
+        super().__init__(f"{message} at line {line}, column {col}")
+        self.position = position
+
+
+KEYWORDS = frozenset(
+    """
+    select distinct from where and or not exists in is null like between
+    as union intersect except all with avg sum count min max true false
+    """.split()
+)
+
+#: Multi-character operators, longest first.
+_OPERATORS = ("<>", "!=", "<=", ">=", "||", "=", "<", ">", "(", ")", ",", ".", "*", ";")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'keyword' | 'name' | 'number' | 'string' | 'op' | 'param' | 'eof'
+    value: object
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "keyword" and self.value == word
+
+    def __repr__(self) -> str:
+        return f"{self.kind}:{self.value!r}"
+
+
+def tokenize(text: str) -> List[Token]:
+    return list(_tokens(text))
+
+
+def _tokens(text: str) -> Iterator[Token]:
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        # Comments.
+        if text.startswith("--", i):
+            nl = text.find("\n", i)
+            i = n if nl == -1 else nl + 1
+            continue
+        if text.startswith("/*", i):
+            end = text.find("*/", i + 2)
+            if end == -1:
+                raise SqlSyntaxError("unterminated block comment", i, text)
+            i = end + 2
+            continue
+        # Strings: single quotes, '' escapes a quote.
+        if ch == "'":
+            j = i + 1
+            chunks = []
+            while True:
+                if j >= n:
+                    raise SqlSyntaxError("unterminated string literal", i, text)
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":
+                        chunks.append("'")
+                        j += 2
+                        continue
+                    break
+                chunks.append(text[j])
+                j += 1
+            yield Token("string", "".join(chunks), i)
+            i = j + 1
+            continue
+        # Numbers (integer or decimal).
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # A dot not followed by a digit is a qualifier, not a decimal.
+                    if j + 1 >= n or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            raw = text[i:j]
+            value: object = float(raw) if "." in raw else int(raw)
+            yield Token("number", value, i)
+            i = j
+            continue
+        # Parameters: $name.
+        if ch == "$":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            if j == i + 1:
+                raise SqlSyntaxError("empty parameter name", i, text)
+            yield Token("param", text[i + 1 : j], i)
+            i = j
+            continue
+        # Identifiers and keywords.
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                yield Token("keyword", lowered, i)
+            else:
+                yield Token("name", word.lower(), i)
+            i = j
+            continue
+        # Operators / punctuation.
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                yield Token("op", "<>" if op == "!=" else op, i)
+                i += len(op)
+                break
+        else:
+            raise SqlSyntaxError(f"unexpected character {ch!r}", i, text)
+    yield Token("eof", None, n)

@@ -1,0 +1,251 @@
+"""Name resolution and nullability analysis for the SQL rewriter.
+
+The appendix rewrites of the paper add ``OR x IS NULL`` escapes only for
+attributes that can actually be null at that point.  Two sources of
+"cannot be null" are used:
+
+1. the schema — key columns and ``NOT NULL`` declarations;
+2. the enclosing *positive* context — under SQL's three-valued logic a
+   top-level conjunct only selects rows where it is ``TRUE``, and a
+   comparison can only be ``TRUE`` on non-null operands.  So in Q1, the
+   outer conjunct ``s_suppkey = l1.l_suppkey`` forces ``l1.l_suppkey``
+   non-null, which is why the appendix version of ``Q+1`` does *not* add
+   ``OR l1.l_suppkey IS NULL`` inside the ``NOT EXISTS``.
+
+This module provides the :class:`Catalog` (schema + ``WITH`` views), the
+:class:`Scope` chain (FROM bindings, with parent links for correlation)
+and :func:`forced_nonnull` (the positive-context analysis).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.data.schema import DatabaseSchema
+from repro.sql import ast
+
+__all__ = ["Catalog", "Scope", "forced_nonnull", "RewriteError", "columns_in_expr"]
+
+
+class RewriteError(ValueError):
+    """The query falls outside the rewritable fragment."""
+
+
+class Catalog:
+    """Column and nullability lookup over base tables and ``WITH`` views."""
+
+    def __init__(self, schema: DatabaseSchema):
+        self.schema = schema
+        self._view_columns: Dict[str, Tuple[str, ...]] = {}
+        self._view_nullable: Dict[str, Dict[str, bool]] = {}
+
+    # ------------------------------------------------------------------
+    def has_table(self, name: str) -> bool:
+        return name in self._view_columns or name in self.schema
+
+    def columns_of(self, name: str) -> Tuple[str, ...]:
+        if name in self._view_columns:
+            return self._view_columns[name]
+        if name in self.schema:
+            return self.schema[name].attribute_names
+        raise RewriteError(f"unknown table {name!r}")
+
+    def is_nullable(self, table: str, column: str) -> bool:
+        if table in self._view_nullable:
+            return self._view_nullable[table][column]
+        return self.schema[table].is_nullable(column)
+
+    # ------------------------------------------------------------------
+    def register_view(self, name: str, query: ast.Query) -> None:
+        """Derive a view's output columns and their nullability."""
+        columns, nullable = self._analyze_view(query)
+        self._view_columns[name] = columns
+        self._view_nullable[name] = nullable
+
+    def _analyze_view(self, query: ast.Query) -> Tuple[Tuple[str, ...], Dict[str, bool]]:
+        body = query.body
+        if isinstance(body, ast.SetOp):
+            left_cols, left_null = self._analyze_view(body.left)
+            _right_cols, right_null = self._analyze_view(body.right)
+            merged = {
+                col: left_null[col] or right_null.get(col, True) for col in left_cols
+            }
+            return left_cols, merged
+        assert isinstance(body, ast.Select)
+        scope = Scope(body.tables, self)
+        columns: List[str] = []
+        nullable: Dict[str, bool] = {}
+        for col in body.columns:
+            if isinstance(col, ast.Star):
+                for binding, table in scope.bindings.items():
+                    for name in self.columns_of(table):
+                        columns.append(name)
+                        nullable[name] = self.is_nullable(table, name)
+                continue
+            if isinstance(col.expr, ast.ColumnRef):
+                out_name = col.alias or col.expr.name
+                resolved = scope.resolve(col.expr)
+                columns.append(out_name)
+                nullable[out_name] = self.is_nullable(resolved.table, resolved.column)
+            else:
+                out_name = col.alias or f"column{len(columns) + 1}"
+                columns.append(out_name)
+                nullable[out_name] = True
+        return tuple(columns), nullable
+
+
+class ResolvedColumn:
+    """Where a column reference landed: scope, binding and base table."""
+
+    __slots__ = ("scope", "binding", "table", "column", "depth")
+
+    def __init__(self, scope: "Scope", binding: str, table: str, column: str, depth: int):
+        self.scope = scope
+        self.binding = binding
+        self.table = table
+        self.column = column
+        self.depth = depth
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.binding, self.column)
+
+
+class Scope:
+    """FROM bindings of one SELECT block, chained to the enclosing block."""
+
+    def __init__(
+        self,
+        tables: Tuple[ast.TableRef, ...],
+        catalog: Catalog,
+        parent: Optional["Scope"] = None,
+    ):
+        self.catalog = catalog
+        self.parent = parent
+        self.bindings: Dict[str, str] = {}
+        #: (binding, column) pairs proven non-null by the positive context.
+        self.forced_nonnull: Set[Tuple[str, str]] = set()
+        for ref in tables:
+            if ref.binding in self.bindings:
+                raise RewriteError(f"duplicate table binding {ref.binding!r}")
+            if not catalog.has_table(ref.name):
+                raise RewriteError(f"unknown table {ref.name!r}")
+            self.bindings[ref.binding] = ref.name
+
+    def resolve(self, column: ast.ColumnRef, depth: int = 0) -> ResolvedColumn:
+        if column.qualifier is not None:
+            if column.qualifier in self.bindings:
+                table = self.bindings[column.qualifier]
+                if column.name not in self.catalog.columns_of(table):
+                    raise RewriteError(
+                        f"no column {column.name!r} in table {table!r} "
+                        f"(binding {column.qualifier!r})"
+                    )
+                return ResolvedColumn(self, column.qualifier, table, column.name, depth)
+        else:
+            owners = [
+                (binding, table)
+                for binding, table in self.bindings.items()
+                if column.name in self.catalog.columns_of(table)
+            ]
+            if len(owners) > 1:
+                raise RewriteError(f"ambiguous column {column.name!r}")
+            if owners:
+                binding, table = owners[0]
+                return ResolvedColumn(self, binding, table, column.name, depth)
+        if self.parent is not None:
+            return self.parent.resolve(column, depth + 1)
+        raise RewriteError(f"cannot resolve column {column.display!r}")
+
+    # ------------------------------------------------------------------
+    def is_possibly_null(self, column: ast.ColumnRef) -> bool:
+        """May this reference evaluate to NULL at this point in the query?"""
+        resolved = self.resolve(column)
+        if not resolved.scope.catalog.is_nullable(resolved.table, resolved.column):
+            return False
+        return resolved.key not in resolved.scope.forced_nonnull
+
+
+def columns_in_expr(expr: ast.SqlExpr) -> List[ast.ColumnRef]:
+    """All column references syntactically inside a scalar expression."""
+    if isinstance(expr, ast.ColumnRef):
+        return [expr]
+    if isinstance(expr, ast.Concat):
+        refs: List[ast.ColumnRef] = []
+        for part in expr.parts:
+            refs.extend(columns_in_expr(part))
+        return refs
+    if isinstance(expr, ast.Aggregate) and expr.arg is not None:
+        return columns_in_expr(expr.arg)
+    # Literals, params and scalar subqueries contribute nothing: a scalar
+    # subquery is the paper's black-box constant.
+    return []
+
+
+def forced_nonnull(where: Optional[ast.SqlCond], scope: Scope) -> None:
+    """Populate ``forced_nonnull`` on *scope* (and enclosing scopes).
+
+    Walks the top-level conjuncts of a *positively evaluated* WHERE
+    clause.  A conjunct that must be ``TRUE`` under 3VL forces its
+    comparison operands non-null; positive ``EXISTS`` conjuncts force
+    the outer columns their own conjuncts compare (the subquery only
+    passes if some inner row made those comparisons ``TRUE``).
+    """
+    if where is None:
+        return
+    conjuncts = (
+        where.items if isinstance(where, ast.BoolOp) and where.op == "and" else (where,)
+    )
+    for item in conjuncts:
+        if isinstance(item, ast.Comparison):
+            _force_expr(item.left, scope)
+            _force_expr(item.right, scope)
+        elif isinstance(item, ast.IsNull) and item.negated:
+            _force_expr(item.expr, scope)
+        elif isinstance(item, ast.InPredicate) and not item.negated:
+            _force_expr(item.expr, scope)
+            if item.query is not None:
+                _force_subquery(item.query, scope)
+        elif isinstance(item, ast.Exists) and not item.negated:
+            _force_subquery(item.query, scope)
+        # OR blocks, negated predicates and literals force nothing.
+
+
+def _force_expr(expr: ast.SqlExpr, scope: Scope) -> None:
+    for column in columns_in_expr(expr):
+        try:
+            resolved = scope.resolve(column)
+        except RewriteError:
+            continue
+        resolved.scope.forced_nonnull.add(resolved.key)
+
+
+def _force_subquery(query: ast.Query, outer: Scope) -> None:
+    """Record outer columns forced by a positive subquery's conjuncts."""
+    body = query.body
+    if not isinstance(body, ast.Select):
+        return
+    try:
+        scope = Scope(body.tables, outer.catalog, parent=outer)
+    except RewriteError:
+        return
+    if body.where is None:
+        return
+    conjuncts = (
+        body.where.items
+        if isinstance(body.where, ast.BoolOp) and body.where.op == "and"
+        else (body.where,)
+    )
+    for item in conjuncts:
+        if isinstance(item, ast.Comparison):
+            for column in columns_in_expr(item.left) + columns_in_expr(item.right):
+                try:
+                    resolved = scope.resolve(column)
+                except RewriteError:
+                    continue
+                # Only outer references escape the existential: the
+                # subquery's own rows are witnesses, not outputs.
+                if resolved.depth > 0:
+                    resolved.scope.forced_nonnull.add(resolved.key)
+        elif isinstance(item, ast.Exists) and not item.negated:
+            _force_subquery(item.query, scope)

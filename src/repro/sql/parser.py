@@ -1,0 +1,324 @@
+"""Recursive-descent parser for the supported SQL fragment.
+
+Grammar (informally)::
+
+    query       := [WITH name AS (query) {, ...}] set_expr
+    set_expr    := select { (UNION|INTERSECT|EXCEPT) [ALL] select }
+    select      := SELECT [DISTINCT] (* | out {, out}) FROM table {, table}
+                   [WHERE cond]
+                 | ( set_expr )
+    cond        := and_cond { OR and_cond }
+    and_cond    := not_cond { AND not_cond }
+    not_cond    := NOT not_cond | predicate
+    predicate   := [NOT] EXISTS ( query )
+                 | ( cond )
+                 | TRUE | FALSE
+                 | expr ( =|<>|<|<=|>|>= ) expr
+                 | expr IS [NOT] NULL
+                 | expr [NOT] IN ( query | expr {, expr} )
+                 | expr [NOT] LIKE expr
+    expr        := primary { || primary }
+    primary     := number | string | $param | agg ( expr | * )
+                 | name [. name] | ( query )
+
+Parenthesised *scalar* expressions are intentionally unsupported (the
+fragment never needs them), which keeps ``(`` unambiguous: it opens a
+subquery when followed by ``SELECT``/``WITH`` and a condition group
+otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union as TUnion
+
+from repro.sql import ast
+from repro.sql.lexer import SqlSyntaxError, Token, tokenize
+
+__all__ = ["parse_sql", "parse_condition", "SqlSyntaxError"]
+
+_COMPARE_OPS = ("=", "<>", "<", "<=", ">", ">=")
+_AGG_FUNCS = ("avg", "sum", "count", "min", "max")
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+    def peek(self, ahead: int = 0) -> Token:
+        return self.tokens[min(self.pos + ahead, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.peek().is_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    def accept_op(self, op: str) -> bool:
+        token = self.peek()
+        if token.kind == "op" and token.value == op:
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.accept_keyword(word):
+            self.fail(f"expected {word.upper()}")
+
+    def expect_op(self, op: str) -> None:
+        if not self.accept_op(op):
+            self.fail(f"expected {op!r}")
+
+    def expect_name(self) -> str:
+        token = self.peek()
+        if token.kind != "name":
+            self.fail("expected an identifier")
+        self.advance()
+        return str(token.value)
+
+    def fail(self, message: str) -> None:
+        token = self.peek()
+        raise SqlSyntaxError(f"{message}, found {token!r}", token.position, self.text)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def parse_query(self) -> ast.Query:
+        ctes: List[Tuple[str, ast.Query]] = []
+        if self.accept_keyword("with"):
+            while True:
+                name = self.expect_name()
+                self.expect_keyword("as")
+                self.expect_op("(")
+                ctes.append((name, self.parse_query()))
+                self.expect_op(")")
+                if not self.accept_op(","):
+                    break
+        body = self.parse_set_expr()
+        return ast.Query(body=body, ctes=tuple(ctes))
+
+    def parse_set_expr(self) -> TUnion[ast.Select, ast.SetOp]:
+        left: TUnion[ast.Select, ast.SetOp] = self.parse_select_core()
+        while True:
+            token = self.peek()
+            if token.kind == "keyword" and token.value in ("union", "intersect", "except"):
+                op = str(token.value)
+                self.advance()
+                all_flag = self.accept_keyword("all")
+                right = self.parse_select_core()
+                left = ast.SetOp(
+                    op=op,
+                    left=ast.query_of(left),
+                    right=ast.query_of(right),
+                    all=all_flag,
+                )
+            else:
+                return left
+
+    def parse_select_core(self) -> TUnion[ast.Select, ast.SetOp]:
+        if self.accept_op("("):
+            inner = self.parse_set_expr()
+            self.expect_op(")")
+            return inner
+        self.expect_keyword("select")
+        distinct = self.accept_keyword("distinct")
+        columns = self.parse_select_list()
+        self.expect_keyword("from")
+        tables = [self.parse_table_ref()]
+        while self.accept_op(","):
+            tables.append(self.parse_table_ref())
+        where = None
+        if self.accept_keyword("where"):
+            where = self.parse_condition()
+        return ast.Select(
+            columns=tuple(columns),
+            tables=tuple(tables),
+            where=where,
+            distinct=distinct,
+        )
+
+    def parse_select_list(self) -> List[TUnion[ast.OutputColumn, ast.Star]]:
+        if self.accept_op("*"):
+            return [ast.Star()]
+        columns: List[TUnion[ast.OutputColumn, ast.Star]] = []
+        while True:
+            expr = self.parse_expr()
+            alias = None
+            if self.accept_keyword("as"):
+                alias = self.expect_name()
+            elif self.peek().kind == "name":
+                alias = self.expect_name()
+            columns.append(ast.OutputColumn(expr=expr, alias=alias))
+            if not self.accept_op(","):
+                return columns
+
+    def parse_table_ref(self) -> ast.TableRef:
+        name = self.expect_name()
+        alias = None
+        if self.accept_keyword("as"):
+            alias = self.expect_name()
+        elif self.peek().kind == "name":
+            alias = self.expect_name()
+        return ast.TableRef(name=name, alias=alias)
+
+    # ------------------------------------------------------------------
+    # Conditions
+    # ------------------------------------------------------------------
+    def parse_condition(self) -> ast.SqlCond:
+        items = [self.parse_and_condition()]
+        while self.accept_keyword("or"):
+            items.append(self.parse_and_condition())
+        return items[0] if len(items) == 1 else ast.BoolOp("or", *items)
+
+    def parse_and_condition(self) -> ast.SqlCond:
+        items = [self.parse_not_condition()]
+        while self.accept_keyword("and"):
+            items.append(self.parse_not_condition())
+        return items[0] if len(items) == 1 else ast.BoolOp("and", *items)
+
+    def parse_not_condition(self) -> ast.SqlCond:
+        if self.accept_keyword("not"):
+            # NOT EXISTS / NOT IN read better as dedicated nodes.
+            if self.peek().is_keyword("exists"):
+                return self._parse_exists(negated=True)
+            return ast.NotOp(self.parse_not_condition())
+        return self.parse_predicate()
+
+    def _parse_exists(self, negated: bool) -> ast.Exists:
+        self.expect_keyword("exists")
+        self.expect_op("(")
+        query = self.parse_query()
+        self.expect_op(")")
+        return ast.Exists(query=query, negated=negated)
+
+    def _starts_subquery(self, ahead: int = 0) -> bool:
+        token = self.peek(ahead)
+        return token.kind == "keyword" and token.value in ("select", "with")
+
+    def parse_predicate(self) -> ast.SqlCond:
+        token = self.peek()
+        if token.is_keyword("exists"):
+            return self._parse_exists(negated=False)
+        if token.is_keyword("true"):
+            self.advance()
+            return ast.BoolLiteral(True)
+        if token.is_keyword("false"):
+            self.advance()
+            return ast.BoolLiteral(False)
+        if token.kind == "op" and token.value == "(" and not self._starts_subquery(1):
+            self.advance()
+            cond = self.parse_condition()
+            self.expect_op(")")
+            return cond
+        left = self.parse_expr()
+        return self.parse_predicate_tail(left)
+
+    def parse_predicate_tail(self, left: ast.SqlExpr) -> ast.SqlCond:
+        token = self.peek()
+        if token.kind == "op" and token.value in _COMPARE_OPS:
+            self.advance()
+            right = self.parse_expr()
+            return ast.Comparison(op=str(token.value), left=left, right=right)
+        if token.is_keyword("is"):
+            self.advance()
+            negated = self.accept_keyword("not")
+            self.expect_keyword("null")
+            return ast.IsNull(expr=left, negated=negated)
+        negated = False
+        if token.is_keyword("not"):
+            self.advance()
+            negated = True
+            token = self.peek()
+        if token.is_keyword("like"):
+            self.advance()
+            pattern = self.parse_expr()
+            return ast.Comparison(
+                op="not like" if negated else "like", left=left, right=pattern
+            )
+        if token.is_keyword("in"):
+            self.advance()
+            self.expect_op("(")
+            if self._starts_subquery():
+                query = self.parse_query()
+                self.expect_op(")")
+                return ast.InPredicate(expr=left, query=query, negated=negated)
+            values = [self.parse_expr()]
+            while self.accept_op(","):
+                values.append(self.parse_expr())
+            self.expect_op(")")
+            return ast.InPredicate(expr=left, values=tuple(values), negated=negated)
+        self.fail("expected a predicate")
+        raise AssertionError  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Scalar expressions
+    # ------------------------------------------------------------------
+    def parse_expr(self) -> ast.SqlExpr:
+        parts = [self.parse_primary()]
+        while self.accept_op("||"):
+            parts.append(self.parse_primary())
+        return parts[0] if len(parts) == 1 else ast.Concat(tuple(parts))
+
+    def parse_primary(self) -> ast.SqlExpr:
+        token = self.peek()
+        if token.kind == "number" or token.kind == "string":
+            self.advance()
+            return ast.Literal(token.value)
+        if token.kind == "param":
+            self.advance()
+            return ast.Param(str(token.value))
+        if token.kind == "keyword" and token.value in _AGG_FUNCS:
+            func = str(token.value)
+            self.advance()
+            self.expect_op("(")
+            arg: Optional[ast.SqlExpr]
+            if self.accept_op("*"):
+                arg = None
+            else:
+                arg = self.parse_expr()
+            self.expect_op(")")
+            return ast.Aggregate(func=func, arg=arg)
+        if token.kind == "op" and token.value == "(":
+            if self._starts_subquery(1):
+                self.advance()
+                query = self.parse_query()
+                self.expect_op(")")
+                return ast.ScalarSubquery(query=query)
+            self.fail("parenthesised scalar expressions are not supported")
+        if token.kind == "name":
+            first = self.expect_name()
+            if self.accept_op("."):
+                second = self.expect_name()
+                return ast.ColumnRef(name=second, qualifier=first)
+            return ast.ColumnRef(name=first)
+        self.fail("expected a scalar expression")
+        raise AssertionError  # pragma: no cover
+
+
+def parse_sql(text: str) -> ast.Query:
+    """Parse *text* into a :class:`repro.sql.ast.Query`."""
+    parser = _Parser(text)
+    query = parser.parse_query()
+    parser.accept_op(";")
+    if parser.peek().kind != "eof":
+        parser.fail("unexpected trailing input")
+    return query
+
+
+def parse_condition(text: str) -> ast.SqlCond:
+    """Parse a standalone condition (handy in tests)."""
+    parser = _Parser(text)
+    cond = parser.parse_condition()
+    if parser.peek().kind != "eof":
+        parser.fail("unexpected trailing input")
+    return cond

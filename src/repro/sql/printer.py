@@ -1,0 +1,122 @@
+"""Render SQL ASTs back to (pretty-printed) SQL text.
+
+Round-tripping ``parse_sql(to_sql(q))`` is tested to be the identity on
+ASTs; the printer is also how rewritten queries are shown in examples
+and recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Union as TUnion
+
+from repro.sql import ast
+
+__all__ = ["to_sql"]
+
+_INDENT = "  "
+
+
+def _indent(text: str, depth: int) -> str:
+    pad = _INDENT * depth
+    return "\n".join(pad + line if line else line for line in text.split("\n"))
+
+
+def _format_literal(value: object) -> str:
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    return str(value)
+
+
+def _format_expr(expr: ast.SqlExpr) -> str:
+    if isinstance(expr, ast.ColumnRef):
+        return expr.display
+    if isinstance(expr, ast.Literal):
+        return _format_literal(expr.value)
+    if isinstance(expr, ast.Param):
+        return f"${expr.name}"
+    if isinstance(expr, ast.Concat):
+        return " || ".join(_format_expr(p) for p in expr.parts)
+    if isinstance(expr, ast.Aggregate):
+        inner = "*" if expr.arg is None else _format_expr(expr.arg)
+        return f"{expr.func.upper()}({inner})"
+    if isinstance(expr, ast.ScalarSubquery):
+        return "(\n" + _indent(_format_query(expr.query), 1) + " )"
+    raise TypeError(f"cannot print expression {type(expr).__name__}")
+
+
+def _format_cond(cond: ast.SqlCond, parent: str = "") -> str:
+    if isinstance(cond, ast.Comparison):
+        return f"{_format_expr(cond.left)} {cond.op.upper()} {_format_expr(cond.right)}"
+    if isinstance(cond, ast.IsNull):
+        negation = " NOT" if cond.negated else ""
+        return f"{_format_expr(cond.expr)} IS{negation} NULL"
+    if isinstance(cond, ast.Exists):
+        keyword = "NOT EXISTS" if cond.negated else "EXISTS"
+        return f"{keyword} (\n" + _indent(_format_query(cond.query), 1) + " )"
+    if isinstance(cond, ast.InPredicate):
+        keyword = "NOT IN" if cond.negated else "IN"
+        if cond.query is not None:
+            body = "(\n" + _indent(_format_query(cond.query), 1) + " )"
+        else:
+            body = "(" + ", ".join(_format_expr(v) for v in cond.values or ()) + ")"
+        return f"{_format_expr(cond.expr)} {keyword} {body}"
+    if isinstance(cond, ast.BoolOp):
+        joiner = f"\n{cond.op.upper()} " if cond.op == "and" else f" {cond.op.upper()} "
+        rendered = joiner.join(_format_cond(item, parent=cond.op) for item in cond.items)
+        # Parenthesise ORs nested under ANDs (and vice versa) for clarity.
+        if parent and parent != cond.op:
+            return "( " + rendered.replace("\n", " ") + " )"
+        return rendered
+    if isinstance(cond, ast.NotOp):
+        return f"NOT ( {_format_cond(cond.item)} )"
+    if isinstance(cond, ast.BoolLiteral):
+        return "TRUE" if cond.value else "FALSE"
+    raise TypeError(f"cannot print condition {type(cond).__name__}")
+
+
+def _format_select(select: ast.Select) -> str:
+    columns = ", ".join(
+        "*"
+        if isinstance(col, ast.Star)
+        else _format_expr(col.expr) + (f" AS {col.alias}" if col.alias else "")
+        for col in select.columns
+    )
+    tables = ", ".join(
+        ref.name + (f" {ref.alias}" if ref.alias else "") for ref in select.tables
+    )
+    parts = [
+        f"SELECT {'DISTINCT ' if select.distinct else ''}{columns}",
+        f"FROM {tables}",
+    ]
+    if select.where is not None:
+        parts.append(f"WHERE {_format_cond(select.where)}")
+    return "\n".join(parts)
+
+
+def _format_body(body: TUnion[ast.Select, ast.SetOp]) -> str:
+    if isinstance(body, ast.Select):
+        return _format_select(body)
+    if isinstance(body, ast.SetOp):
+        keyword = body.op.upper() + (" ALL" if body.all else "")
+        return (
+            _format_query(body.left)
+            + f"\n{keyword}\n"
+            + _format_query(body.right)
+        )
+    raise TypeError(f"cannot print query body {type(body).__name__}")
+
+
+def _format_query(query: ast.Query) -> str:
+    if not query.ctes:
+        return _format_body(query.body)
+    views = ",\n".join(
+        f"{name} AS (\n" + _indent(_format_query(sub), 1) + " )"
+        for name, sub in query.ctes
+    )
+    return f"WITH\n{views}\n" + _format_body(query.body)
+
+
+def to_sql(query: TUnion[ast.Query, ast.Select, ast.SetOp]) -> str:
+    """Pretty-print a query AST as SQL text."""
+    return _format_query(ast.query_of(query))

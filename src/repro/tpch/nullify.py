@@ -1,0 +1,62 @@
+"""Null injection (Section 3).
+
+For every nullable attribute (as declared by the schema) and every
+tuple, a coin is flipped with probability *null rate*; on success the
+value is replaced by a fresh Codd null.  Key attributes and ``NOT
+NULL`` columns are never touched, so the injected instances satisfy the
+schema's constraints.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.data.database import Database
+from repro.data.nulls import Null
+from repro.data.relation import Relation
+
+__all__ = ["inject_nulls"]
+
+
+def inject_nulls(
+    db: Database,
+    null_rate: float,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> Database:
+    """Return a copy of *db* with nulls injected at the given rate.
+
+    Each injected null is a fresh marked null (Codd nulls: no label
+    repeats), matching SQL's ``NULL`` under the missing-value reading.
+    """
+    if not 0.0 <= null_rate <= 1.0:
+        raise ValueError(f"null rate must be in [0, 1], got {null_rate}")
+    if db.schema is None:
+        raise ValueError("null injection needs a schema to know nullable columns")
+    if rng is None:
+        rng = random.Random(seed)
+
+    new_tables = {}
+    for name, relation in db.relations.items():
+        rel_schema = db.schema.get(name)
+        if rel_schema is None or null_rate == 0.0:
+            new_tables[name] = Relation(relation.attributes, relation.rows)
+            continue
+        nullable_idx = [
+            i
+            for i, attr in enumerate(relation.attributes)
+            if rel_schema.attribute(attr).nullable
+        ]
+        if not nullable_idx:
+            new_tables[name] = Relation(relation.attributes, relation.rows)
+            continue
+        rows = []
+        for row in relation.rows:
+            new_row = list(row)
+            for i in nullable_idx:
+                if rng.random() < null_rate:
+                    new_row[i] = Null()
+            rows.append(tuple(new_row))
+        new_tables[name] = Relation(relation.attributes, rows)
+    return Database(new_tables, schema=db.schema)

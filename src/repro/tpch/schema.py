@@ -1,0 +1,181 @@
+"""The TPC-H schema with the paper's nullable/non-nullable split.
+
+Per Section 3, attributes are non-nullable when they belong to a primary
+key or carry a ``NOT NULL`` declaration; every other attribute may
+receive nulls during injection.  Two policy notes, both matching the
+appendix rewrites:
+
+* ``nation`` and ``region`` are kept entirely complete (the appendix
+  ``supp_view`` has no ``n_name IS NULL`` branch, so the paper's
+  DataFiller configuration clearly did not nullify them);
+* ``lineitem``'s key is (``l_orderkey``, ``l_linenumber``), which is why
+  ``l_orderkey = o_orderkey`` is never weakened while ``l_suppkey`` and
+  ``l_partkey`` — plain foreign keys — are.
+"""
+
+from __future__ import annotations
+
+from repro.data.schema import DatabaseSchema, ForeignKey, make_schema
+
+__all__ = ["tpch_schema", "NULLABLE_POLICY", "TABLE_RATIOS"]
+
+#: Rows per table for one unit of scale, following the TPC-H ratios
+#: (supplier : customer : part : partsupp : orders : lineitem =
+#:  10k : 150k : 200k : 800k : 1.5M : ~6M per 1 GB), divided by 10^3 as
+#: in the paper's DataFiller instances.
+TABLE_RATIOS = {
+    "supplier": 10,
+    "customer": 150,
+    "part": 200,
+    "partsupp": 800,
+    "orders": 1500,
+    "lineitem": 6000,
+    "nation": 25,
+    "region": 5,
+}
+
+#: Documented summary of which attributes can be nullified (Section 3).
+NULLABLE_POLICY = (
+    "nullable = not a primary-key attribute and not declared NOT NULL; "
+    "nation and region stay complete"
+)
+
+
+def tpch_schema() -> DatabaseSchema:
+    """Build the 8-table TPC-H schema."""
+    schema = DatabaseSchema()
+    schema.add(
+        make_schema(
+            "region",
+            [("r_regionkey", "int"), ("r_name", "str"), ("r_comment", "str")],
+            key=["r_regionkey"],
+            not_null=["r_name", "r_comment"],
+        )
+    )
+    schema.add(
+        make_schema(
+            "nation",
+            [
+                ("n_nationkey", "int"),
+                ("n_name", "str"),
+                ("n_regionkey", "int"),
+                ("n_comment", "str"),
+            ],
+            key=["n_nationkey"],
+            not_null=["n_name", "n_regionkey", "n_comment"],
+        )
+    )
+    schema.add(
+        make_schema(
+            "supplier",
+            [
+                ("s_suppkey", "int"),
+                ("s_name", "str"),
+                ("s_address", "str"),
+                ("s_nationkey", "int"),
+                ("s_phone", "str"),
+                ("s_acctbal", "float"),
+                ("s_comment", "str"),
+            ],
+            key=["s_suppkey"],
+        )
+    )
+    schema.add(
+        make_schema(
+            "part",
+            [
+                ("p_partkey", "int"),
+                ("p_name", "str"),
+                ("p_mfgr", "str"),
+                ("p_brand", "str"),
+                ("p_type", "str"),
+                ("p_size", "int"),
+                ("p_container", "str"),
+                ("p_retailprice", "float"),
+                ("p_comment", "str"),
+            ],
+            key=["p_partkey"],
+        )
+    )
+    schema.add(
+        make_schema(
+            "partsupp",
+            [
+                ("ps_partkey", "int"),
+                ("ps_suppkey", "int"),
+                ("ps_availqty", "int"),
+                ("ps_supplycost", "float"),
+                ("ps_comment", "str"),
+            ],
+            key=["ps_partkey", "ps_suppkey"],
+        )
+    )
+    schema.add(
+        make_schema(
+            "customer",
+            [
+                ("c_custkey", "int"),
+                ("c_name", "str"),
+                ("c_address", "str"),
+                ("c_nationkey", "int"),
+                ("c_phone", "str"),
+                ("c_acctbal", "float"),
+                ("c_mktsegment", "str"),
+                ("c_comment", "str"),
+            ],
+            key=["c_custkey"],
+        )
+    )
+    schema.add(
+        make_schema(
+            "orders",
+            [
+                ("o_orderkey", "int"),
+                ("o_custkey", "int"),
+                ("o_orderstatus", "str"),
+                ("o_totalprice", "float"),
+                ("o_orderdate", "date"),
+                ("o_orderpriority", "str"),
+                ("o_clerk", "str"),
+                ("o_shippriority", "int"),
+                ("o_comment", "str"),
+            ],
+            key=["o_orderkey"],
+        )
+    )
+    schema.add(
+        make_schema(
+            "lineitem",
+            [
+                ("l_orderkey", "int"),
+                ("l_partkey", "int"),
+                ("l_suppkey", "int"),
+                ("l_linenumber", "int"),
+                ("l_quantity", "int"),
+                ("l_extendedprice", "float"),
+                ("l_discount", "float"),
+                ("l_tax", "float"),
+                ("l_returnflag", "str"),
+                ("l_linestatus", "str"),
+                ("l_shipdate", "date"),
+                ("l_commitdate", "date"),
+                ("l_receiptdate", "date"),
+                ("l_shipinstruct", "str"),
+                ("l_shipmode", "str"),
+                ("l_comment", "str"),
+            ],
+            key=["l_orderkey", "l_linenumber"],
+        )
+    )
+    schema.foreign_keys = (
+        ForeignKey("nation", ("n_regionkey",), "region", ("r_regionkey",)),
+        ForeignKey("supplier", ("s_nationkey",), "nation", ("n_nationkey",)),
+        ForeignKey("customer", ("c_nationkey",), "nation", ("n_nationkey",)),
+        ForeignKey("partsupp", ("ps_partkey",), "part", ("p_partkey",)),
+        ForeignKey("partsupp", ("ps_suppkey",), "supplier", ("s_suppkey",)),
+        ForeignKey("orders", ("o_custkey",), "customer", ("c_custkey",)),
+        ForeignKey("lineitem", ("l_orderkey",), "orders", ("o_orderkey",)),
+        ForeignKey("lineitem", ("l_partkey",), "part", ("p_partkey",)),
+        ForeignKey("lineitem", ("l_suppkey",), "supplier", ("s_suppkey",)),
+    )
+    return schema

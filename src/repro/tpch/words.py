@@ -1,0 +1,44 @@
+"""Word pools from the TPC-H specification used by the data generators.
+
+``P_NAME_WORDS`` is the 92-word list the specification concatenates
+(5 at a time) into part names; query Q4's ``$color`` parameter is drawn
+from it.  Nation and region names are the spec's fixed 25/5 values.
+"""
+
+from __future__ import annotations
+
+__all__ = ["P_NAME_WORDS", "NATIONS", "REGIONS", "O_PRIORITIES", "SHIP_MODES", "SEGMENTS"]
+
+P_NAME_WORDS = (
+    "almond antique aquamarine azure beige bisque black blanched blue "
+    "blush brown burlywood burnished chartreuse chiffon chocolate coral "
+    "cornflower cornsilk cream cyan dark deep dim dodger drab firebrick "
+    "floral forest frosted gainsboro ghost goldenrod green grey honeydew "
+    "hot indian ivory khaki lace lavender lawn lemon light lime linen "
+    "magenta maroon medium metallic midnight mint misty moccasin navajo "
+    "navy olive orange orchid pale papaya peach peru pink plum powder "
+    "puff purple red rose rosy royal saddle salmon sandy seashell sienna "
+    "sky slate smoke snow spring steel tan thistle tomato turquoise "
+    "violet wheat white yellow"
+).split()
+
+assert len(P_NAME_WORDS) == 92, len(P_NAME_WORDS)
+
+#: (name, regionkey) pairs, per the TPC-H specification.
+NATIONS = (
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+)
+
+REGIONS = ("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST")
+
+O_PRIORITIES = ("1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW")
+
+SHIP_MODES = ("REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB")
+
+SEGMENTS = ("AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD")

@@ -1,0 +1,126 @@
+"""Condition translations ``θ → θ*`` and ``θ → θ**``.
+
+``θ*`` holds only when ``θ`` is *certainly* true (used in the positive
+parts of the translations), ``θ** = ¬(¬θ)*`` holds whenever ``θ`` is
+*possibly* true (used for potential answers).  Section 2/6 give the
+rules for (dis)equality; Section 7 adds:
+
+* the *SQL adjustment* — SQL nulls are coarser than Codd nulls, so
+  ``(A = B)*`` must additionally assert ``const(A) ∧ const(B)`` and
+  ``(A ≠ B)**`` must allow ``null(A) ∨ null(B)``;
+* other comparison operators (``<``, ``>``, ``LIKE``, …): "there is
+  nothing special about (dis)equality" — a comparison is certainly true
+  only on constants satisfying it, and possibly true also when an
+  operand is null.
+
+Both maps are monotone w.r.t. the Boolean structure, which is what
+Corollary 1 needs: replacing ``θ*`` by a stronger condition or ``θ**``
+by a weaker one preserves the guarantees of Theorem 1.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.algebra.conditions import (
+    And,
+    Attr,
+    Comparison,
+    Condition,
+    FalseCond,
+    Not,
+    NullTest,
+    Or,
+    TrueCond,
+    negate,
+)
+
+__all__ = ["translate_certain", "translate_possible"]
+
+
+def _const_guards(comparison: Comparison) -> List[Condition]:
+    """``const(X)`` for every attribute operand of the comparison."""
+    guards: List[Condition] = []
+    for term in (comparison.left, comparison.right):
+        if isinstance(term, Attr):
+            guards.append(NullTest(term, is_null=False))
+    return guards
+
+
+def _null_escapes(comparison: Comparison) -> List[Condition]:
+    """``null(X)`` for every attribute operand of the comparison."""
+    escapes: List[Condition] = []
+    for term in (comparison.left, comparison.right):
+        if isinstance(term, Attr):
+            escapes.append(NullTest(term, is_null=True))
+    return escapes
+
+
+def translate_certain(cond: Condition, sql_adjusted: bool = False) -> Condition:
+    """``θ*``: true only where ``θ`` holds under *every* valuation.
+
+    With ``sql_adjusted=False`` (marked-null semantics, Section 2):
+
+    * ``(A = B)* = A = B``  — naive evaluation already equates only
+      identical marked nulls, and an identical null is certainly equal
+      to itself;
+    * ``(A ≠ B)* = A ≠ B ∧ const(A) ∧ const(B)``.
+
+    With ``sql_adjusted=True`` (Section 7), equality also requires its
+    operands to be constants, because SQL cannot recognise a null as
+    equal to itself.
+    """
+    if isinstance(cond, (TrueCond, FalseCond)):
+        return cond
+    if isinstance(cond, And):
+        return And(*[translate_certain(c, sql_adjusted) for c in cond.items])
+    if isinstance(cond, Or):
+        return Or(*[translate_certain(c, sql_adjusted) for c in cond.items])
+    if isinstance(cond, Not):
+        return translate_certain(negate(cond.item), sql_adjusted)
+    if isinstance(cond, NullTest):
+        # Under the closed-world semantics every valuation removes all
+        # nulls, so ``null(A)`` is certainly false and ``const(A)``
+        # certainly true on every possible world.
+        return FalseCond() if cond.is_null else TrueCond()
+    if isinstance(cond, Comparison):
+        if cond.op == "=" and not sql_adjusted:
+            return cond
+        guards = _const_guards(cond)
+        if not guards:
+            return cond
+        return And(cond, *guards)
+    raise TypeError(f"cannot translate condition {cond!r}")
+
+
+def translate_possible(cond: Condition, sql_adjusted: bool = False) -> Condition:
+    """``θ** = ¬(¬θ)*``: true wherever ``θ`` holds under *some* valuation.
+
+    * ``(A = B)** = A = B ∨ null(A) ∨ null(B)``;
+    * ``(A ≠ B)**`` is ``A ≠ B`` for marked nulls (naive evaluation of a
+      disequality on distinct nulls is already true) and gains
+      ``∨ null(A) ∨ null(B)`` under the SQL adjustment;
+    * order and ``LIKE`` comparisons gain the null escapes in both
+      modes, since their naive evaluation on nulls is false while some
+      valuation may satisfy them.
+    """
+    if isinstance(cond, (TrueCond, FalseCond)):
+        return cond
+    if isinstance(cond, And):
+        return And(*[translate_possible(c, sql_adjusted) for c in cond.items])
+    if isinstance(cond, Or):
+        return Or(*[translate_possible(c, sql_adjusted) for c in cond.items])
+    if isinstance(cond, Not):
+        return translate_possible(negate(cond.item), sql_adjusted)
+    if isinstance(cond, NullTest):
+        # No possible world retains a null: ``null(A)`` is unsatisfiable,
+        # ``const(A)`` universally true.
+        return FalseCond() if cond.is_null else TrueCond()
+    if isinstance(cond, Comparison):
+        if cond.op == "<>" and not sql_adjusted:
+            return cond
+        escapes = _null_escapes(cond)
+        if not escapes:
+            return cond
+        return Or(cond, *escapes)
+    raise TypeError(f"cannot translate condition {cond!r}")

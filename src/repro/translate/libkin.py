@@ -1,0 +1,171 @@
+"""The Figure 2 translation ``Q → (Qt, Qf)`` of [Libkin, TODS 2016].
+
+``Qt`` under-approximates certain answers to ``Q`` and ``Qf``
+under-approximates certain answers to its complement.  The rules are
+reproduced verbatim from Figure 2 of the paper:
+
+.. code-block:: text
+
+    Rt              = R
+    (Q1 ∪ Q2)t      = Qt1 ∪ Qt2
+    (Q1 ∩ Q2)t      = Qt1 ∩ Qt2
+    (Q1 − Q2)t      = Qt1 ∩ Qf2
+    (σθ(Q))t        = σθ*(Qt)
+    (Q1 × Q2)t      = Qt1 × Qt2
+    (πα(Q))t        = πα(Qt)
+
+    Rf              = {s̄ ∈ adom^ar(R) | ¬∃ r̄ ∈ R : r̄ ⇑ s̄}
+    (Q1 ∪ Q2)f      = Qf1 ∩ Qf2
+    (Q1 ∩ Q2)f      = Qf1 ∪ Qf2
+    (Q1 − Q2)f      = Qf1 ∪ Qt2
+    (σθ(Q))f        = Qf ∪ σ(¬θ)*(adom^ar(Q))
+    (Q1 × Q2)f      = Qf1 × adom^ar(Q2) ∪ adom^ar(Q1) × Qf2
+    (πα(Q))f        = πα(Qf) − πα(adom^ar(Q) − Qf)
+
+This module exists to *demonstrate Section 5*: the pervasive
+``adom^k`` factors make ``Qf`` (and hence ``Qt`` for queries with
+difference) explode combinatorially.  The benchmarks run it with a row
+budget and show it failing on instances of a few hundred tuples, while
+the Figure 3 translation of :mod:`repro.translate.improved` stays fast.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.algebra.conditions import negate
+from repro.algebra.expr import (
+    AdomPower,
+    Difference,
+    Expr,
+    Intersection,
+    Join,
+    Literal,
+    Product,
+    Projection,
+    RelationRef,
+    Rename,
+    Selection,
+    Union,
+    UnifAntiJoin,
+)
+from repro.algebra.infer import attribute_lookup, output_attributes
+from repro.translate.conditions import translate_certain
+
+__all__ = ["translate_libkin", "LibkinTranslation"]
+
+
+class LibkinTranslation:
+    """Carrier for the mutually recursive ``t``/``f`` rules."""
+
+    def __init__(self, schema_source, sql_adjusted: bool = False):
+        self._lookup = attribute_lookup(schema_source) if not callable(
+            schema_source
+        ) else schema_source
+        self.sql_adjusted = sql_adjusted
+
+    # ------------------------------------------------------------------
+    def _attrs(self, expr: Expr) -> Tuple[str, ...]:
+        return output_attributes(expr, self._lookup)
+
+    def _adom(self, attrs: Tuple[str, ...]) -> AdomPower:
+        return AdomPower(tuple(attrs))
+
+    # ------------------------------------------------------------------
+    def certainly_true(self, q: Expr) -> Expr:
+        """The ``Qt`` side."""
+        if isinstance(q, (RelationRef, Literal, AdomPower)):
+            return q
+        if isinstance(q, Union):
+            return Union(self.certainly_true(q.left), self.certainly_true(q.right))
+        if isinstance(q, Intersection):
+            return Intersection(
+                self.certainly_true(q.left), self.certainly_true(q.right)
+            )
+        if isinstance(q, Difference):
+            return Intersection(
+                self.certainly_true(q.left), self.certainly_false(q.right)
+            )
+        if isinstance(q, Selection):
+            return Selection(
+                self.certainly_true(q.child),
+                translate_certain(q.condition, self.sql_adjusted),
+            )
+        if isinstance(q, Product):
+            return Product(self.certainly_true(q.left), self.certainly_true(q.right))
+        if isinstance(q, Join):
+            # σθ(Q1 × Q2) in one node.
+            return Join(
+                self.certainly_true(q.left),
+                self.certainly_true(q.right),
+                translate_certain(q.condition, self.sql_adjusted),
+            )
+        if isinstance(q, Projection):
+            return Projection(self.certainly_true(q.child), q.attributes)
+        if isinstance(q, Rename):
+            return Rename(self.certainly_true(q.child), q.mapping)
+        raise TypeError(
+            f"Figure 2 translation does not cover {type(q).__name__}; "
+            "normalise the query to {σ, π, ×, ∪, −, ∩} first"
+        )
+
+    # ------------------------------------------------------------------
+    def certainly_false(self, q: Expr) -> Expr:
+        """The ``Qf`` side (certain answers to the complement)."""
+        if isinstance(q, (RelationRef, Literal)):
+            attrs = self._attrs(q)
+            return UnifAntiJoin(self._adom(attrs), q)
+        if isinstance(q, Union):
+            return Intersection(
+                self.certainly_false(q.left), self.certainly_false(q.right)
+            )
+        if isinstance(q, Intersection):
+            return Union(self.certainly_false(q.left), self.certainly_false(q.right))
+        if isinstance(q, Difference):
+            return Union(self.certainly_false(q.left), self.certainly_true(q.right))
+        if isinstance(q, Selection):
+            attrs = self._attrs(q.child)
+            return Union(
+                self.certainly_false(q.child),
+                Selection(
+                    self._adom(attrs),
+                    translate_certain(negate(q.condition), self.sql_adjusted),
+                ),
+            )
+        if isinstance(q, Join):
+            return self.certainly_false(
+                Selection(Product(q.left, q.right), q.condition)
+            )
+        if isinstance(q, Product):
+            left_pad = self._adom(self._attrs(q.right))
+            right_pad = self._adom(self._attrs(q.left))
+            return Union(
+                Product(self.certainly_false(q.left), left_pad),
+                Product(right_pad, self.certainly_false(q.right)),
+            )
+        if isinstance(q, Projection):
+            qf = self.certainly_false(q.child)
+            attrs = self._attrs(q.child)
+            return Difference(
+                Projection(qf, q.attributes),
+                Projection(Difference(self._adom(attrs), qf), q.attributes),
+            )
+        if isinstance(q, Rename):
+            return Rename(self.certainly_false(q.child), q.mapping)
+        raise TypeError(
+            f"Figure 2 translation does not cover {type(q).__name__}; "
+            "normalise the query to {σ, π, ×, ∪, −, ∩} first"
+        )
+
+
+def translate_libkin(
+    query: Expr, schema_source, sql_adjusted: bool = False
+) -> Tuple[Expr, Expr]:
+    """Return ``(Qt, Qf)`` per Figure 2.
+
+    ``schema_source`` supplies base-relation attribute names (a
+    :class:`~repro.data.database.Database`, a
+    :class:`~repro.data.schema.DatabaseSchema` or a dict).
+    """
+    translator = LibkinTranslation(schema_source, sql_adjusted=sql_adjusted)
+    return translator.certainly_true(query), translator.certainly_false(query)

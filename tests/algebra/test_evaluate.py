@@ -1,0 +1,212 @@
+"""The reference algebra evaluator: every operator, both semantics."""
+
+import pytest
+
+from repro.algebra import (
+    AdomPower,
+    AntiJoin,
+    Difference,
+    Division,
+    EvaluationBudgetExceeded,
+    Intersection,
+    Join,
+    Literal,
+    Product,
+    Projection,
+    RelationRef,
+    Rename,
+    Selection,
+    SemiJoin,
+    Union,
+    UnifAntiJoin,
+    UnifSemiJoin,
+    eq,
+    evaluate,
+    neq,
+)
+from repro.data import Database, Null, Relation
+
+
+@pytest.fixture
+def db():
+    return Database(
+        {
+            "R": Relation(("A", "B"), [(1, 2), (2, 3), (1, 2)]),
+            "S": Relation(("C",), [(2,), (9,)]),
+        }
+    )
+
+
+class TestBasics:
+    def test_base_relation_is_deduplicated(self, db):
+        out = evaluate(RelationRef("R"), db)
+        assert sorted(out.rows) == [(1, 2), (2, 3)]
+
+    def test_literal(self, db):
+        lit = Literal(Relation(("X",), [(5,)]))
+        assert evaluate(lit, db).rows == [(5,)]
+
+    def test_selection(self, db):
+        out = evaluate(Selection(RelationRef("R"), eq("A", 1)), db)
+        assert out.rows == [(1, 2)]
+
+    def test_projection_deduplicates(self, db):
+        out = evaluate(Projection(RelationRef("R"), ("B",)), db)
+        assert sorted(out.rows) == [(2,), (3,)]
+
+    def test_rename(self, db):
+        out = evaluate(Rename(RelationRef("S"), {"C": "Z"}), db)
+        assert out.attributes == ("Z",)
+
+    def test_product(self, db):
+        out = evaluate(Product(RelationRef("R"), RelationRef("S")), db)
+        assert out.attributes == ("A", "B", "C")
+        assert len(out) == 4
+
+    def test_product_attribute_collision_rejected(self, db):
+        with pytest.raises(ValueError, match="disjoint"):
+            evaluate(Product(RelationRef("R"), RelationRef("R")), db)
+
+    def test_join(self, db):
+        out = evaluate(
+            Join(RelationRef("R"), RelationRef("S"), eq("B", "C")), db
+        )
+        assert out.rows == [(1, 2, 2)]
+
+
+class TestSetOperators:
+    def test_union(self, db):
+        out = evaluate(
+            Union(RelationRef("R"), Literal(Relation(("A", "B"), [(9, 9), (1, 2)]))),
+            db,
+        )
+        assert len(out) == 3
+
+    def test_intersection_positional(self, db):
+        other = Literal(Relation(("X", "Y"), [(1, 2), (7, 7)]))
+        out = evaluate(Intersection(RelationRef("R"), other), db)
+        assert out.rows == [(1, 2)]
+        assert out.attributes == ("A", "B")  # left's names win
+
+    def test_difference(self, db):
+        other = Literal(Relation(("X", "Y"), [(1, 2)]))
+        out = evaluate(Difference(RelationRef("R"), other), db)
+        assert out.rows == [(2, 3)]
+
+    def test_arity_mismatch_rejected(self, db):
+        with pytest.raises(ValueError, match="arity"):
+            evaluate(Union(RelationRef("R"), RelationRef("S")), db)
+
+
+class TestSemijoins:
+    def test_semijoin(self, db):
+        out = evaluate(
+            SemiJoin(RelationRef("R"), RelationRef("S"), eq("B", "C")), db
+        )
+        assert out.rows == [(1, 2)]
+        assert out.attributes == ("A", "B")
+
+    def test_antijoin(self, db):
+        out = evaluate(
+            AntiJoin(RelationRef("R"), RelationRef("S"), eq("B", "C")), db
+        )
+        assert out.rows == [(2, 3)]
+
+    def test_unification_semijoin_marked(self):
+        x = Null("x")
+        db = Database(
+            {
+                "L": Relation(("A", "B"), [(x, x), (1, 1)]),
+                "M": Relation(("A", "B"), [(1, 2)]),
+            }
+        )
+        out = evaluate(UnifSemiJoin(RelationRef("L"), RelationRef("M")), db)
+        assert out.rows == []  # (x,x) cannot unify with (1,2); (1,1) differs
+
+    def test_unification_semijoin_codd_flag(self):
+        x = Null("x")
+        db = Database(
+            {
+                "L": Relation(("A", "B"), [(x, x)]),
+                "M": Relation(("A", "B"), [(1, 2)]),
+            }
+        )
+        out = evaluate(
+            UnifSemiJoin(RelationRef("L"), RelationRef("M"), codd=True), db
+        )
+        assert len(out) == 1  # position-wise shortcut accepts
+
+    def test_unification_antijoin(self):
+        db = Database(
+            {
+                "L": Relation(("A",), [(1,), (2,)]),
+                "M": Relation(("A",), [(Null(),)]),
+            }
+        )
+        out = evaluate(UnifAntiJoin(RelationRef("L"), RelationRef("M")), db)
+        assert out.rows == []  # everything unifies with a fresh null
+
+
+class TestDivision:
+    def test_students_taking_all_courses(self):
+        db = Database(
+            {
+                "takes": Relation(
+                    ("student", "course"),
+                    [("ann", "db"), ("ann", "os"), ("bob", "db")],
+                ),
+                "courses": Relation(("course",), [("db",), ("os",)]),
+            }
+        )
+        out = evaluate(Division(RelationRef("takes"), RelationRef("courses")), db)
+        assert out.rows == [("ann",)]
+        assert out.attributes == ("student",)
+
+    def test_missing_divisor_attribute_rejected(self, db):
+        with pytest.raises(ValueError, match="not in dividend"):
+            evaluate(Division(RelationRef("S"), RelationRef("R")), db)
+
+
+class TestAdomAndBudget:
+    def test_adom_power(self, db):
+        out = evaluate(AdomPower(("X", "Y")), db)
+        domain = db.active_domain()
+        assert len(out) == len(domain) ** 2
+
+    def test_budget_exceeded_on_adom(self, db):
+        with pytest.raises(EvaluationBudgetExceeded):
+            evaluate(AdomPower(("X", "Y", "Z")), db, max_rows=10)
+
+    def test_budget_exceeded_on_product(self, db):
+        big = Product(
+            Product(RelationRef("R"), Rename(RelationRef("S"), {"C": "C1"})),
+            Rename(RelationRef("S"), {"C": "C2"}),
+        )
+        with pytest.raises(EvaluationBudgetExceeded):
+            evaluate(big, db, max_rows=5)
+
+    def test_budget_not_exceeded_when_large_enough(self, db):
+        out = evaluate(Product(RelationRef("R"), RelationRef("S")), db, max_rows=100)
+        assert len(out) == 4
+
+
+class TestSemantics:
+    def test_selection_semantics_differ_on_nulls(self):
+        n = Null("n")
+        db = Database({"R": Relation(("A", "B"), [(n, n), (1, 2)])})
+        same = Selection(RelationRef("R"), eq("A", "B"))
+        naive = evaluate(same, db, semantics="naive")
+        sql = evaluate(same, db, semantics="sql")
+        assert (n, n) in naive.rows     # same marked null: naive says equal
+        assert (n, n) not in sql.rows   # SQL: unknown, not selected
+
+    def test_unknown_semantics_rejected(self, db):
+        with pytest.raises(ValueError, match="semantics"):
+            evaluate(RelationRef("R"), db, semantics="maybe")
+
+    def test_unknown_node_rejected(self, db):
+        class Weird:
+            pass
+
+        with pytest.raises(TypeError):
+            evaluate(Weird(), db)

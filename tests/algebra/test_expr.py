@@ -1,0 +1,76 @@
+"""Algebra expression nodes: construction helpers, traversal, rendering."""
+
+from repro.algebra import (
+    Difference,
+    Intersection,
+    Product,
+    Projection,
+    RelationRef,
+    Rename,
+    Selection,
+    Union,
+    eq,
+)
+from repro.algebra.expr import walk
+
+
+class TestCombinators:
+    def test_select_project_chain(self):
+        expr = RelationRef("R").select(eq("A", 1)).project("A")
+        assert isinstance(expr, Projection)
+        assert isinstance(expr.child, Selection)
+        assert expr.child.child == RelationRef("R")
+
+    def test_set_combinators(self):
+        r, s = RelationRef("R"), RelationRef("S")
+        assert isinstance(r.union(s), Union)
+        assert isinstance(r.intersect(s), Intersection)
+        assert isinstance(r.minus(s), Difference)
+        assert isinstance(r.product(s), Product)
+
+
+class TestRename:
+    def test_dict_mapping_normalised(self):
+        a = Rename(RelationRef("R"), {"A": "X", "B": "Y"})
+        b = Rename(RelationRef("R"), {"B": "Y", "A": "X"})
+        assert a == b  # dict order does not matter
+        assert a.mapping_dict() == {"A": "X", "B": "Y"}
+
+
+class TestWalk:
+    def test_preorder(self):
+        expr = Difference(
+            RelationRef("R"), Selection(RelationRef("S"), eq("A", 1))
+        )
+        nodes = list(walk(expr))
+        assert nodes[0] is expr
+        assert RelationRef("R") in nodes
+        assert RelationRef("S") in nodes
+        assert len(nodes) == 4
+
+    def test_leaf(self):
+        assert list(walk(RelationRef("R"))) == [RelationRef("R")]
+
+
+class TestRepr:
+    def test_uses_standard_notation(self):
+        expr = Projection(Selection(RelationRef("R"), eq("A", 1)), ("A",))
+        text = repr(expr)
+        assert "π" in text and "σ" in text
+
+    def test_difference_and_product(self):
+        r, s = RelationRef("R"), RelationRef("S")
+        assert "−" in repr(Difference(r, s))
+        assert "×" in repr(Product(r, s))
+
+
+class TestEquality:
+    def test_structural_equality(self):
+        a = Selection(RelationRef("R"), eq("A", 1))
+        b = Selection(RelationRef("R"), eq("A", 1))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_usable_as_dict_keys(self):
+        cache = {RelationRef("R"): 1}
+        assert cache[RelationRef("R")] == 1

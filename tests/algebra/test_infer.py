@@ -1,0 +1,69 @@
+"""Static attribute inference used by the translations."""
+
+import pytest
+
+from repro.algebra.expr import (
+    AdomPower,
+    AntiJoin,
+    Difference,
+    Division,
+    Join,
+    Literal,
+    Product,
+    Projection,
+    RelationRef,
+    Rename,
+    Selection,
+    SemiJoin,
+    Union,
+    UnifSemiJoin,
+)
+from repro.algebra.conditions import eq
+from repro.algebra.infer import arity_of, attribute_lookup, output_attributes
+from repro.data import Database, Relation
+from repro.data.schema import DatabaseSchema, make_schema
+
+LOOKUP = {"R": ("A", "B"), "S": ("C", "D")}
+
+
+@pytest.mark.parametrize(
+    "expr, expected",
+    [
+        (RelationRef("R"), ("A", "B")),
+        (Literal(Relation(("X",), [])), ("X",)),
+        (AdomPower(("P", "Q")), ("P", "Q")),
+        (Selection(RelationRef("R"), eq("A", 1)), ("A", "B")),
+        (Projection(RelationRef("R"), ("B",)), ("B",)),
+        (Rename(RelationRef("R"), {"A": "Z"}), ("Z", "B")),
+        (Product(RelationRef("R"), RelationRef("S")), ("A", "B", "C", "D")),
+        (Join(RelationRef("R"), RelationRef("S"), eq("A", "C")), ("A", "B", "C", "D")),
+        (Union(RelationRef("R"), RelationRef("S")), ("A", "B")),
+        (Difference(RelationRef("R"), RelationRef("S")), ("A", "B")),
+        (SemiJoin(RelationRef("R"), RelationRef("S"), eq("A", "C")), ("A", "B")),
+        (AntiJoin(RelationRef("R"), RelationRef("S"), eq("A", "C")), ("A", "B")),
+        (UnifSemiJoin(RelationRef("R"), RelationRef("S")), ("A", "B")),
+        (Division(RelationRef("R"), Projection(RelationRef("R"), ("B",))), ("A",)),
+    ],
+)
+def test_output_attributes(expr, expected):
+    assert output_attributes(expr, LOOKUP) == expected
+
+
+def test_arity(expr=Product(RelationRef("R"), RelationRef("S"))):
+    assert arity_of(expr, LOOKUP) == 4
+
+
+def test_lookup_from_database():
+    db = Database({"T": Relation(("X", "Y"), [])})
+    assert output_attributes(RelationRef("T"), db) == ("X", "Y")
+
+
+def test_lookup_from_schema():
+    schema = DatabaseSchema()
+    schema.add(make_schema("T", [("X", "int"), ("Y", "int")]))
+    assert output_attributes(RelationRef("T"), schema) == ("X", "Y")
+
+
+def test_lookup_rejects_other_sources():
+    with pytest.raises(TypeError):
+        attribute_lookup(42)

@@ -1,0 +1,89 @@
+"""Exhaustive truth tables for the three-valued logic (Section 2)."""
+
+import pytest
+
+from repro.algebra.threevl import (
+    FALSE,
+    TRUE,
+    UNKNOWN,
+    from_bool,
+    tv_all,
+    tv_and,
+    tv_any,
+    tv_not,
+    tv_or,
+)
+
+ALL = (TRUE, FALSE, UNKNOWN)
+
+
+def test_negation_table():
+    assert tv_not(TRUE) is FALSE
+    assert tv_not(FALSE) is TRUE
+    assert tv_not(UNKNOWN) is UNKNOWN
+
+
+@pytest.mark.parametrize(
+    "a, b, expected",
+    [
+        (TRUE, TRUE, TRUE),
+        (TRUE, FALSE, FALSE),
+        (TRUE, UNKNOWN, UNKNOWN),
+        (FALSE, FALSE, FALSE),
+        (FALSE, UNKNOWN, FALSE),
+        (UNKNOWN, UNKNOWN, UNKNOWN),
+    ],
+)
+def test_conjunction_table(a, b, expected):
+    assert tv_and(a, b) is expected
+    assert tv_and(b, a) is expected  # commutative
+
+
+@pytest.mark.parametrize(
+    "a, b, expected",
+    [
+        (TRUE, TRUE, TRUE),
+        (TRUE, FALSE, TRUE),
+        (TRUE, UNKNOWN, TRUE),
+        (FALSE, FALSE, FALSE),
+        (FALSE, UNKNOWN, UNKNOWN),
+        (UNKNOWN, UNKNOWN, UNKNOWN),
+    ],
+)
+def test_disjunction_table(a, b, expected):
+    assert tv_or(a, b) is expected
+    assert tv_or(b, a) is expected
+
+
+def test_de_morgan_exhaustive():
+    for a in ALL:
+        for b in ALL:
+            assert tv_not(tv_and(a, b)) is tv_or(tv_not(a), tv_not(b))
+            assert tv_not(tv_or(a, b)) is tv_and(tv_not(a), tv_not(b))
+
+
+def test_operators_dunder():
+    assert (TRUE & UNKNOWN) is UNKNOWN
+    assert (FALSE | UNKNOWN) is UNKNOWN
+    assert (~UNKNOWN) is UNKNOWN
+
+
+def test_truthiness_is_selected_by_where():
+    assert bool(TRUE)
+    assert not bool(FALSE)
+    assert not bool(UNKNOWN)  # u rows are NOT selected
+
+
+def test_from_bool():
+    assert from_bool(True) is TRUE
+    assert from_bool(False) is FALSE
+
+
+def test_tv_all_and_any():
+    assert tv_all([TRUE, TRUE]) is TRUE
+    assert tv_all([TRUE, UNKNOWN]) is UNKNOWN
+    assert tv_all([UNKNOWN, FALSE]) is FALSE
+    assert tv_all([]) is TRUE
+    assert tv_any([FALSE, UNKNOWN]) is UNKNOWN
+    assert tv_any([UNKNOWN, TRUE]) is TRUE
+    assert tv_any([]) is FALSE

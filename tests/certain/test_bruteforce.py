@@ -1,0 +1,93 @@
+"""Brute-force certain answers: the ground truth layer itself."""
+
+from repro.algebra import Difference, Projection, RelationRef, Selection, eq
+from repro.certain import (
+    certain_answers,
+    certain_answers_with_nulls,
+    false_negatives,
+    false_positives,
+    possible_answer_union,
+    represents_potential_answers,
+)
+from repro.data import Database, Null, Relation
+
+
+class TestIntroExample:
+    def test_difference_with_null_has_no_certain_answers(self, intro_db):
+        q = Difference(RelationRef("R"), RelationRef("S"))
+        assert certain_answers_with_nulls(q, intro_db).rows == []
+
+    def test_difference_without_null_keeps_answer(self):
+        db = Database(
+            {
+                "R": Relation(("A",), [(1,)]),
+                "S": Relation(("A",), [(2,)]),
+            }
+        )
+        q = Difference(RelationRef("R"), RelationRef("S"))
+        assert certain_answers_with_nulls(q, db).rows == [(1,)]
+
+
+class TestCertainWithNulls:
+    def test_identity_keeps_null_tuples(self):
+        """Section 2's example: R = {(1,⊥),(2,3)} — both tuples certain."""
+        n = Null()
+        db = Database({"R": Relation(("A", "B"), [(1, n), (2, 3)])})
+        result = certain_answers_with_nulls(RelationRef("R"), db)
+        assert set(result.rows) == {(1, n), (2, 3)}
+
+    def test_classical_certain_drops_null_tuples(self):
+        n = Null()
+        db = Database({"R": Relation(("A", "B"), [(1, n), (2, 3)])})
+        result = certain_answers(RelationRef("R"), db)
+        assert result.rows == [(2, 3)]
+
+    def test_selection_on_null_attribute(self):
+        n = Null()
+        db = Database({"R": Relation(("A",), [(n,), (1,)])})
+        q = Selection(RelationRef("R"), eq("A", 1))
+        # The null could be anything, so only (1,) is certain.
+        assert certain_answers_with_nulls(q, db).rows == [(1,)]
+
+    def test_projection(self):
+        n = Null()
+        db = Database({"R": Relation(("A", "B"), [(1, n)])})
+        q = Projection(RelationRef("R"), ("A",))
+        assert certain_answers_with_nulls(q, db).rows == [(1,)]
+
+    def test_certain_null_from_join_style_reasoning(self):
+        # R = {⊥}; query R itself: the null tuple is certainly in R.
+        n = Null()
+        db = Database({"R": Relation(("A",), [(n,)])})
+        assert certain_answers_with_nulls(RelationRef("R"), db).rows == [(n,)]
+
+
+class TestPossibleAnswers:
+    def test_union_over_valuations(self):
+        n = Null()
+        db = Database({"R": Relation(("A",), [(n,), (1,)])})
+        q = Selection(RelationRef("R"), eq("A", 1))
+        everything = possible_answer_union(q, db)
+        assert (1,) in everything
+        assert len(everything) == 1  # only constant tuples appear in worlds
+
+    def test_represents_potential_answers(self):
+        n = Null()
+        db = Database({"R": Relation(("A",), [(n,), (1,)])})
+        q = Selection(RelationRef("R"), eq("A", 1))
+        good = Relation(("A",), [(n,), (1,)])
+        bad = Relation(("A",), [(1,)])  # misses the world where v(n) = 1? no —
+        # (1,) is v(n)'s image only when v(n)=1, but then Q(v(D)) = {(1,)} ⊆ {(1,)}.
+        # A truly bad candidate is the empty set:
+        empty = Relation(("A",), [])
+        assert represents_potential_answers(good, q, db)
+        assert represents_potential_answers(bad, q, db)
+        assert not represents_potential_answers(empty, q, db)
+
+
+class TestErrorSets:
+    def test_false_positive_and_negative_extraction(self):
+        returned = Relation(("A",), [(1,), (2,)])
+        certain = Relation(("A",), [(2,), (3,)])
+        assert false_positives(returned, certain) == [(1,)]
+        assert false_negatives(returned, certain) == [(3,)]

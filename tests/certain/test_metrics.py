@@ -1,0 +1,60 @@
+"""Precision/recall bookkeeping."""
+
+import pytest
+
+from repro.certain.metrics import AnswerComparison, compare_answers, precision, recall
+
+
+class TestPrecisionRecall:
+    def test_precision(self):
+        assert precision([(1,), (2,)], [(1,)]) == 0.5
+        assert precision([], [(1,)]) == 1.0
+        assert precision([(1,)], []) == 0.0
+
+    def test_recall(self):
+        assert recall([(1,)], [(1,), (2,)]) == 0.5
+        assert recall([(1,)], []) == 1.0
+        assert recall([], [(1,)]) == 0.0
+
+
+class TestAnswerComparison:
+    def test_compare_answers(self):
+        cmp = compare_answers(
+            sql_rows=[(1,), (2,), (3,)],
+            rewritten_rows=[(2,), (3,)],
+            false_positive_rows=[(1,)],
+        )
+        assert cmp.sql_returned == 3
+        assert cmp.sql_false_positives == 1
+        assert cmp.rewritten_returned == 2
+        assert cmp.missed_certain == 0
+        assert cmp.sql_precision == pytest.approx(2 / 3)
+        assert cmp.rewritten_recall == 1.0
+
+    def test_missed_certain_lowers_recall(self):
+        cmp = compare_answers(
+            sql_rows=[(1,), (2,)],
+            rewritten_rows=[],
+            false_positive_rows=[],
+        )
+        assert cmp.missed_certain == 2
+        assert cmp.rewritten_recall == 0.0
+
+    def test_flagged_rows_outside_sql_are_ignored(self):
+        cmp = compare_answers(
+            sql_rows=[(1,)],
+            rewritten_rows=[(1,)],
+            false_positive_rows=[(9,)],
+        )
+        assert cmp.sql_false_positives == 0
+        assert cmp.rewritten_recall == 1.0
+
+    def test_all_false_positive_case(self):
+        """Q2's typical situation: everything SQL returned was wrong."""
+        cmp = compare_answers(
+            sql_rows=[(1,), (2,)],
+            rewritten_rows=[],
+            false_positive_rows=[(1,), (2,)],
+        )
+        assert cmp.sql_precision == 0.0
+        assert cmp.rewritten_recall == 1.0  # no certain answers to miss

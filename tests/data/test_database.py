@@ -1,0 +1,68 @@
+"""Databases: mapping protocol, active domain, copies."""
+
+import pytest
+
+from repro.data import Database, Null, Relation
+from repro.data.database import database_from_dict
+
+
+@pytest.fixture
+def db():
+    n = Null("n")
+    return Database(
+        {
+            "R": Relation(("A",), [(1,), (n,)]),
+            "S": Relation(("B",), [(2,)]),
+        }
+    )
+
+
+class TestMapping:
+    def test_get_set_contains_iter(self, db):
+        assert "R" in db
+        assert set(db) == {"R", "S"}
+        db["T"] = Relation(("C",), [])
+        assert "T" in db
+        assert db.relation_names() == ("R", "S", "T")
+
+    def test_unknown_relation_error_lists_names(self, db):
+        with pytest.raises(KeyError, match="unknown relation"):
+            db["missing"]
+
+
+class TestIncompleteness:
+    def test_domains(self, db):
+        assert db.constants() == {1, 2}
+        assert len(db.nulls()) == 1
+        assert db.active_domain() == {1, 2, Null("n")}
+        assert not db.is_complete()
+        assert db.total_rows() == 3
+
+    def test_complete(self):
+        assert Database({"R": Relation(("A",), [(1,)])}).is_complete()
+
+
+class TestCopies:
+    def test_map_rows(self, db):
+        doubled = db.map_rows(lambda row: tuple(
+            v if isinstance(v, Null) else v * 10 for v in row
+        ))
+        assert (10,) in doubled["R"].rows
+        assert db["R"].rows[0] == (1,)  # original untouched
+
+    def test_copy_is_independent(self, db):
+        clone = db.copy()
+        clone["R"].add((99,))
+        assert (99,) not in db["R"].rows
+
+
+def test_describe_mentions_null_cells(db):
+    text = db.describe()
+    assert "R: 2 rows" in text
+    assert "1 null cells" in text
+
+
+def test_database_from_dict():
+    db = database_from_dict({"R": (("A", "B"), [(1, 2)])})
+    assert db["R"].attributes == ("A", "B")
+    assert db["R"].rows == [(1, 2)]

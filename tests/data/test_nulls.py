@@ -1,0 +1,50 @@
+"""Marked nulls: identity, freshness, hashing."""
+
+import pytest
+
+from repro.data.nulls import Null, codd_null_factory, fresh_null, is_null
+
+
+class TestIdentity:
+    def test_same_label_is_same_null(self):
+        assert Null("x") == Null("x")
+
+    def test_different_labels_differ(self):
+        assert Null("x") != Null("y")
+
+    def test_null_never_equals_constant(self):
+        assert Null("x") != "x"
+        assert Null(1) != 1
+
+    def test_hash_follows_label(self):
+        assert hash(Null("x")) == hash(Null("x"))
+        assert len({Null("x"), Null("x"), Null("y")}) == 2
+
+    def test_fresh_nulls_are_pairwise_distinct(self):
+        batch = [fresh_null() for _ in range(100)]
+        assert len(set(batch)) == 100
+
+    def test_codd_factory_is_infinite_and_fresh(self):
+        factory = codd_null_factory()
+        first = [next(factory) for _ in range(10)]
+        assert len(set(first)) == 10
+
+
+class TestProtocol:
+    def test_is_null(self):
+        assert is_null(Null())
+        assert not is_null(None)
+        assert not is_null(0)
+        assert not is_null("NULL")
+
+    def test_repr_mentions_label(self):
+        assert "x" in repr(Null("x"))
+
+    def test_ordering_is_rejected(self):
+        with pytest.raises(TypeError):
+            Null() < 3
+
+    def test_nulls_usable_in_tuples_and_dicts(self):
+        n = Null("k")
+        d = {(1, n): "v"}
+        assert d[(1, Null("k"))] == "v"

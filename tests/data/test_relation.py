@@ -1,0 +1,110 @@
+"""Relations: construction, access, derived relations, indexes."""
+
+import pytest
+
+from repro.data import Null, Relation
+
+
+class TestConstruction:
+    def test_basic(self):
+        r = Relation(("A", "B"), [(1, 2), (3, 4)])
+        assert r.arity == 2
+        assert len(r) == 2
+        assert (1, 2) in r
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="width"):
+            Relation(("A", "B"), [(1,)])
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Relation(("A", "A"), [])
+
+    def test_rows_are_tuples(self):
+        r = Relation(("A",), [[1], [2]])
+        assert all(isinstance(row, tuple) for row in r.rows)
+
+    def test_add_and_extend(self):
+        r = Relation(("A",), [])
+        r.add((1,))
+        r.extend([(2,), (3,)])
+        assert len(r) == 3
+        with pytest.raises(ValueError):
+            r.add((1, 2))
+
+
+class TestEquality:
+    def test_set_semantics_equality(self):
+        a = Relation(("A",), [(1,), (2,), (1,)])
+        b = Relation(("A",), [(2,), (1,)])
+        assert a == b
+
+    def test_attribute_names_matter(self):
+        a = Relation(("A",), [(1,)])
+        b = Relation(("B",), [(1,)])
+        assert a != b
+
+
+class TestDerived:
+    def test_distinct_preserves_order(self):
+        r = Relation(("A",), [(2,), (1,), (2,), (1,)])
+        assert r.distinct().rows == [(2,), (1,)]
+
+    def test_rename(self):
+        r = Relation(("A", "B"), [(1, 2)])
+        renamed = r.rename({"A": "X"})
+        assert renamed.attributes == ("X", "B")
+        assert renamed.rows == [(1, 2)]
+
+    def test_prefixed(self):
+        r = Relation(("A",), [(1,)])
+        assert r.prefixed("t").attributes == ("t.A",)
+
+    def test_column_and_index_of(self):
+        r = Relation(("A", "B"), [(1, 2), (3, 4)])
+        assert r.column("B") == [2, 4]
+        assert r.index_of("A") == 0
+        with pytest.raises(KeyError):
+            r.index_of("Z")
+
+    def test_row_dicts(self):
+        r = Relation(("A", "B"), [(1, 2)])
+        assert list(r.row_dicts()) == [{"A": 1, "B": 2}]
+
+
+class TestIncompleteness:
+    def test_nulls_and_constants(self):
+        n = Null()
+        r = Relation(("A", "B"), [(1, n), (2, 3)])
+        assert r.nulls() == {n}
+        assert r.constants() == {1, 2, 3}
+        assert not r.is_complete()
+
+    def test_complete(self):
+        assert Relation(("A",), [(1,)]).is_complete()
+
+
+class TestHashIndex:
+    def test_groups_rows(self):
+        r = Relation(("A", "B"), [(1, 2), (1, 3), (2, 4)])
+        index = r.hash_index("A")
+        assert index[1] == [(1, 2), (1, 3)]
+        assert index[2] == [(2, 4)]
+
+    def test_null_keys_group_by_label(self):
+        n = Null("k")
+        r = Relation(("A",), [(n,), (Null("k"),), (Null("other"),)])
+        index = r.hash_index("A")
+        assert len(index[n]) == 2
+
+    def test_cache_invalidated_on_add(self):
+        r = Relation(("A",), [(1,)])
+        assert len(r.hash_index("A")) == 1
+        r.add((2,))
+        assert len(r.hash_index("A")) == 2
+
+
+def test_pretty_renders_nulls():
+    r = Relation(("A",), [(Null(),), (1,)])
+    text = r.pretty()
+    assert "NULL" in text and "1" in text

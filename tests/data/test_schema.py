@@ -1,0 +1,73 @@
+"""Schemas: nullability, keys, lookup helpers."""
+
+import pytest
+
+from repro.data.schema import (
+    Attribute,
+    DatabaseSchema,
+    ForeignKey,
+    RelationSchema,
+    make_schema,
+)
+
+
+class TestAttribute:
+    def test_defaults(self):
+        a = Attribute("x")
+        assert a.type == "str" and a.nullable
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown attribute type"):
+            Attribute("x", "blob")
+
+
+class TestRelationSchema:
+    def test_key_attributes_must_be_non_nullable(self):
+        with pytest.raises(ValueError, match="must not be nullable"):
+            RelationSchema("r", (Attribute("k", "int", nullable=True),), key=("k",))
+
+    def test_key_must_exist(self):
+        with pytest.raises(ValueError, match="not in relation"):
+            RelationSchema("r", (Attribute("a", "int", nullable=False),), key=("b",))
+
+    def test_duplicate_attributes_rejected(self):
+        attrs = (Attribute("a", nullable=True), Attribute("a", nullable=True))
+        with pytest.raises(ValueError, match="duplicate"):
+            RelationSchema("r", attrs)
+
+    def test_lookups(self):
+        schema = make_schema(
+            "r", [("k", "int"), ("v", "str")], key=["k"]
+        )
+        assert schema.arity == 2
+        assert schema.attribute_names == ("k", "v")
+        assert schema.index_of("v") == 1
+        assert not schema.is_nullable("k")
+        assert schema.is_nullable("v")
+        assert schema.nullable_attributes() == ("v",)
+        with pytest.raises(KeyError):
+            schema.attribute("zzz")
+
+
+class TestMakeSchema:
+    def test_not_null_columns(self):
+        schema = make_schema(
+            "r", [("k", "int"), ("a", "str"), ("b", "str")], key=["k"], not_null=["a"]
+        )
+        assert not schema.is_nullable("a")
+        assert schema.is_nullable("b")
+
+
+class TestDatabaseSchema:
+    def test_mapping(self):
+        db_schema = DatabaseSchema()
+        r = make_schema("r", [("k", "int")], key=["k"])
+        db_schema.add(r)
+        assert "r" in db_schema
+        assert db_schema["r"] is r
+        assert db_schema.get("missing") is None
+        assert db_schema.relation_names() == ("r",)
+
+    def test_foreign_keys_structure(self):
+        fk = ForeignKey("a", ("x",), "b", ("y",))
+        assert fk.table == "a" and fk.ref_columns == ("y",)

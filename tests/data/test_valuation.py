@@ -1,0 +1,75 @@
+"""Valuations: application and enumeration."""
+
+import pytest
+
+from repro.data import Database, Null, Relation, Valuation
+from repro.data.valuation import enumerate_valuations, fresh_constants, sample_valuations
+
+
+class TestApplication:
+    def test_apply_row(self):
+        n = Null("n")
+        v = Valuation({n: 7})
+        assert v.apply_row((1, n, "x")) == (1, 7, "x")
+
+    def test_apply_relation_and_database(self):
+        n = Null("n")
+        db = Database({"R": Relation(("A",), [(n,), (1,)])})
+        v = Valuation({n: 5})
+        out = v.apply_database(db)
+        assert set(out["R"].rows) == {(5,), (1,)}
+        assert out.is_complete()
+
+    def test_unknown_null_raises(self):
+        v = Valuation({})
+        with pytest.raises(KeyError):
+            v(Null("other"))
+
+    def test_values_must_be_constants(self):
+        with pytest.raises(TypeError):
+            Valuation({Null("a"): Null("b")})
+
+    def test_keys_must_be_nulls(self):
+        with pytest.raises(TypeError):
+            Valuation({1: 2})
+
+
+class TestEnumeration:
+    def test_counts(self):
+        n1, n2 = Null(), Null()
+        db = Database({"R": Relation(("A", "B"), [(n1, n2), (1, 2)])})
+        # domain: constants {1, 2} + 2 fresh = 4 values; 2 nulls -> 16.
+        valuations = list(enumerate_valuations(db))
+        assert len(valuations) == 16
+
+    def test_no_nulls_single_empty_valuation(self):
+        db = Database({"R": Relation(("A",), [(1,)])})
+        valuations = list(enumerate_valuations(db))
+        assert len(valuations) == 1
+        assert valuations[0].mapping == {}
+
+    def test_explicit_domain(self):
+        n = Null()
+        db = Database({"R": Relation(("A",), [(n,)])})
+        valuations = list(enumerate_valuations(db, domain=[10, 20]))
+        assert {v(n) for v in valuations} == {10, 20}
+
+    def test_empty_database_domain_falls_back_to_fresh(self):
+        n = Null()
+        db = Database({"R": Relation(("A",), [(n,)])})
+        valuations = list(enumerate_valuations(db, extra_constants=0))
+        assert len(valuations) == 1  # one fresh constant
+
+
+def test_fresh_constants_are_distinct_and_foreign():
+    fresh = fresh_constants(3)
+    assert len(set(fresh)) == 3
+    assert all(c != 1 and c != "x" for c in fresh)
+    assert fresh[0] == fresh_constants(1)[0]  # deterministic by tag
+
+
+def test_sample_valuations_cover_all_nulls(rng):
+    n1, n2 = Null(), Null()
+    db = Database({"R": Relation(("A", "B"), [(n1, n2)])})
+    for v in sample_valuations(db, count=5, rng=rng):
+        assert set(v.mapping) == {n1, n2}

@@ -1,0 +1,54 @@
+"""Hypothesis laws for valuations and the possible-world semantics."""
+
+from hypothesis import given, strategies as st
+
+from repro.data import Database, Null, Relation, Valuation
+
+cells = st.one_of(st.integers(0, 4), st.builds(Null, st.integers(1, 3)))
+rows2 = st.lists(st.tuples(cells, cells), min_size=0, max_size=4)
+assignment = st.dictionaries(st.integers(1, 3), st.integers(10, 14), min_size=3, max_size=3)
+
+
+def _valuation(mapping):
+    return Valuation({Null(label): value for label, value in mapping.items()})
+
+
+@given(rows=rows2, mapping=assignment)
+def test_application_is_pointwise(rows, mapping):
+    v = _valuation(mapping)
+    relation = Relation(("A", "B"), rows)
+    applied = v.apply_relation(relation)
+    assert applied.rows == [v.apply_row(row) for row in relation.rows]
+
+
+@given(rows=rows2, mapping=assignment)
+def test_worlds_are_complete(rows, mapping):
+    v = _valuation(mapping)
+    db = Database({"R": Relation(("A", "B"), rows)})
+    assert v.apply_database(db).is_complete()
+
+
+@given(rows=rows2, mapping=assignment)
+def test_application_idempotent_on_complete(rows, mapping):
+    v = _valuation(mapping)
+    db = Database({"R": Relation(("A", "B"), rows)})
+    world = v.apply_database(db)
+    again = v.apply_database(world)
+    assert again["R"].rows == world["R"].rows
+
+
+@given(rows=rows2, mapping=assignment)
+def test_constants_preserved(rows, mapping):
+    v = _valuation(mapping)
+    db = Database({"R": Relation(("A", "B"), rows)})
+    world = v.apply_database(db)
+    assert db.constants() <= world.constants() | set()
+
+
+@given(rows=rows2, mapping=assignment, other=assignment)
+def test_same_labels_same_world(rows, mapping, other):
+    """Worlds depend only on the label → constant map."""
+    db = Database({"R": Relation(("A", "B"), rows)})
+    w1 = _valuation(mapping).apply_database(db)
+    w2 = _valuation(dict(mapping)).apply_database(db)
+    assert w1["R"].rows == w2["R"].rows

@@ -1,0 +1,89 @@
+"""The marked-null evaluation mode (Section 8's proposed extension).
+
+SQL nulls cannot recognise a null as equal to itself; with marked
+nulls the engine can.  This mode recovers exactly the certain answers
+the Section 7 self-join example shows SQL losing.
+"""
+
+import pytest
+
+from repro.data import Database, Null, Relation
+from repro.engine import execute_sql
+
+
+@pytest.fixture
+def db():
+    same = Null("same")
+    other = Null("other")
+    return Database(
+        {
+            "r": Relation(("a", "b"), [(same, same), (1, 2), (other, 3)]),
+            "s": Relation(("a",), [(same,), (4,)]),
+        }
+    )
+
+
+class TestSelfComparisons:
+    def test_same_null_equality_true(self, db):
+        out = execute_sql(db, "SELECT b FROM r WHERE a = a", marked_nulls=True)
+        # (same,same): a = a true; (1,2): true; (other,3): true.
+        assert len(out) == 3
+
+    def test_sql_mode_loses_null_rows(self, db):
+        out = execute_sql(db, "SELECT b FROM r WHERE a = a")
+        assert len(out) == 1  # only the constant row
+
+    def test_cross_column_same_label(self, db):
+        out = execute_sql(db, "SELECT a FROM r WHERE a = b", marked_nulls=True)
+        assert out.rows == [(Null("same"),)]
+
+    def test_different_labels_stay_unknown(self, db):
+        out = execute_sql(
+            db, "SELECT b FROM r WHERE a = 99 OR a <> 99", marked_nulls=True
+        )
+        # Tautology on constants; unknown on any null (label can't help).
+        assert len(out) == 1
+
+    def test_same_label_disequality_false(self, db):
+        out = execute_sql(db, "SELECT b FROM r WHERE a <> b", marked_nulls=True)
+        assert out.rows == [(2,)]  # only the constant row; (same,same) is FALSE
+
+
+class TestSelfJoin:
+    def test_section7_selfjoin_recovered(self):
+        """SELECT R1.A FROM R R1, R R2 WHERE R1.A = R2.A on R = {⊥}."""
+        bottom = Null("b")
+        db = Database({"r": Relation(("a",), [(bottom,)])})
+        sql = "SELECT r1.a FROM r r1, r r2 WHERE r1.a = r2.a"
+        assert execute_sql(db, sql).rows == []
+        assert execute_sql(db, sql, marked_nulls=True).rows == [(bottom,)]
+
+    def test_join_across_tables_by_label(self, db):
+        out = execute_sql(
+            db, "SELECT r.b FROM r, s WHERE r.a = s.a", marked_nulls=True
+        )
+        assert out.rows == [(Null("same"),)]
+
+    def test_exists_probe_matches_same_label(self, db):
+        out = execute_sql(
+            db,
+            "SELECT b FROM r WHERE EXISTS (SELECT * FROM s WHERE s.a = r.a)",
+            marked_nulls=True,
+        )
+        assert out.rows == [(Null("same"),)]
+
+
+class TestInPredicates:
+    def test_in_subquery_matches_label(self, db):
+        out = execute_sql(
+            db, "SELECT b FROM r WHERE a IN (SELECT a FROM s)", marked_nulls=True
+        )
+        assert out.rows == [(Null("same"),)]
+
+    def test_not_in_same_label_excluded_definitely(self, db):
+        # NOT IN: the same-label null *certainly* equals a member → FALSE
+        # (not merely unknown), other rows stay unknown due to s's null.
+        out = execute_sql(
+            db, "SELECT b FROM r WHERE a NOT IN (SELECT a FROM s)", marked_nulls=True
+        )
+        assert out.rows == []

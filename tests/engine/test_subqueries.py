@@ -1,0 +1,141 @@
+"""Subquery semantics: EXISTS, IN, NOT IN, scalar aggregates — with nulls."""
+
+import pytest
+
+from repro.data import Database, Null, Relation
+from repro.engine import execute_sql
+from repro.engine.scope import EngineError
+
+
+@pytest.fixture
+def db():
+    n = Null()
+    return Database(
+        {
+            "r": Relation(("a",), [(1,), (2,), (3,)]),
+            "s": Relation(("a",), [(2,), (n,)]),
+            "empty": Relation(("a",), []),
+            "orders": Relation(
+                ("okey", "cust"), [(100, 1), (101, 1), (102, Null())]
+            ),
+        }
+    )
+
+
+class TestExists:
+    def test_correlated_exists(self, db):
+        out = execute_sql(
+            db, "SELECT a FROM r WHERE EXISTS (SELECT * FROM s WHERE s.a = r.a)"
+        )
+        assert out.rows == [(2,)]
+
+    def test_correlated_not_exists_shows_false_positives(self, db):
+        """The intro phenomenon: 1 and 3 survive although the null in s
+        could be either of them."""
+        out = execute_sql(
+            db, "SELECT a FROM r WHERE NOT EXISTS (SELECT * FROM s WHERE s.a = r.a)"
+        )
+        assert set(out.rows) == {(1,), (3,)}
+
+    def test_uncorrelated_exists(self, db):
+        out = execute_sql(db, "SELECT a FROM r WHERE EXISTS (SELECT * FROM empty)")
+        assert out.rows == []
+        out = execute_sql(db, "SELECT a FROM r WHERE EXISTS (SELECT * FROM s)")
+        assert len(out) == 3
+
+    def test_uncorrelated_not_exists_short_circuit(self, db):
+        out = execute_sql(
+            db,
+            "SELECT a FROM r WHERE NOT EXISTS "
+            "(SELECT * FROM orders WHERE cust IS NULL)",
+        )
+        assert out.rows == []
+
+    def test_nested_correlation_two_levels(self, db):
+        out = execute_sql(
+            db,
+            "SELECT a FROM r WHERE EXISTS (SELECT * FROM s "
+            "WHERE s.a = r.a AND EXISTS (SELECT * FROM orders WHERE cust = r.a))",
+        )
+        assert out.rows == []  # s.a = 2 matches r.a = 2 but no order has cust 2
+
+
+class TestIn:
+    def test_in_subquery(self, db):
+        out = execute_sql(db, "SELECT a FROM r WHERE a IN (SELECT a FROM s)")
+        assert out.rows == [(2,)]
+
+    def test_not_in_subquery_with_null_excludes_everything(self, db):
+        """SQL's infamous NOT IN + NULL behaviour."""
+        out = execute_sql(db, "SELECT a FROM r WHERE a NOT IN (SELECT a FROM s)")
+        assert out.rows == []
+
+    def test_not_in_subquery_without_nulls(self, db):
+        out = execute_sql(
+            db, "SELECT a FROM r WHERE a NOT IN (SELECT a FROM s WHERE a IS NOT NULL)"
+        )
+        assert set(out.rows) == {(1,), (3,)}
+
+    def test_not_in_empty_is_true(self, db):
+        out = execute_sql(db, "SELECT a FROM r WHERE a NOT IN (SELECT a FROM empty)")
+        assert len(out) == 3
+
+    def test_in_value_list_with_null_expr(self, db):
+        out = execute_sql(db, "SELECT a FROM s WHERE a IN (2, 3)")
+        assert out.rows == [(2,)]  # the null row is unknown → filtered
+
+    def test_not_in_value_list_null_expr_unknown(self, db):
+        out = execute_sql(db, "SELECT a FROM s WHERE a NOT IN (3, 4)")
+        assert out.rows == [(2,)]
+
+    def test_correlated_in(self, db):
+        out = execute_sql(
+            db,
+            "SELECT a FROM r WHERE a IN (SELECT cust FROM orders WHERE okey < 102)",
+        )
+        assert out.rows == [(1,)]
+
+
+class TestScalarAggregates:
+    def test_avg_ignores_nulls(self):
+        n = Null()
+        db = Database({"t": Relation(("v",), [(1,), (3,), (n,)])})
+        out = execute_sql(db, "SELECT v FROM t WHERE v > (SELECT AVG(v) FROM t)")
+        assert out.rows == [(3,)]  # avg of {1,3} = 2
+
+    def test_aggregate_over_empty_is_null(self, db):
+        out = execute_sql(
+            db, "SELECT a FROM r WHERE a > (SELECT MAX(a) FROM empty)"
+        )
+        assert out.rows == []  # comparison with NULL is unknown
+
+    def test_count_star_vs_count_column(self):
+        n = Null()
+        db = Database({"t": Relation(("v",), [(1,), (n,)])})
+        out = execute_sql(db, "SELECT v FROM t WHERE 2 = (SELECT COUNT(*) FROM t)")
+        assert len(out) == 2
+        out = execute_sql(db, "SELECT v FROM t WHERE 1 = (SELECT COUNT(v) FROM t)")
+        assert len(out) == 2
+
+    def test_sum_min_max(self):
+        db = Database({"t": Relation(("v",), [(1,), (2,), (3,)])})
+        assert len(execute_sql(db, "SELECT v FROM t WHERE 6 = (SELECT SUM(v) FROM t)")) == 3
+        assert len(execute_sql(db, "SELECT v FROM t WHERE 1 = (SELECT MIN(v) FROM t)")) == 3
+        assert len(execute_sql(db, "SELECT v FROM t WHERE 3 = (SELECT MAX(v) FROM t)")) == 3
+
+    def test_correlated_scalar_rejected(self, db):
+        with pytest.raises(EngineError, match="correlated scalar"):
+            execute_sql(
+                db,
+                "SELECT a FROM r WHERE a > (SELECT AVG(okey) FROM orders "
+                "WHERE cust = r.a)",
+            )
+
+    def test_q2_shape(self, db):
+        """Customers above average balance without orders (simplified)."""
+        out = execute_sql(
+            db,
+            "SELECT a FROM r WHERE a > (SELECT AVG(a) FROM r) "
+            "AND NOT EXISTS (SELECT * FROM orders WHERE cust = r.a)",
+        )
+        assert out.rows == [(3,)]

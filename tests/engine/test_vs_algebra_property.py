@@ -1,0 +1,72 @@
+"""Property-based cross-validation: engine ≡ reference algebra evaluator.
+
+For randomly generated databases and a grammar of SQL queries in the
+EXISTS/NOT EXISTS fragment, the engine's answers must coincide with the
+reference evaluator's 3VL semantics of the translated algebra.  (NOT IN
+is excluded: algebra antijoins model ``¬∃ TRUE-match``, which is the
+EXISTS semantics, while SQL's NOT IN is stricter on unknowns — the
+engine implements both faithfully, see tests/engine/test_subqueries.)
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.algebra import evaluate
+from repro.data import Database, Null, Relation
+from repro.engine import execute_sql
+from repro.sql.parser import parse_sql
+from repro.sql.to_algebra import sql_to_algebra
+
+TEMPLATES = [
+    "SELECT a FROM r WHERE a = {c}",
+    "SELECT a, b FROM r WHERE a <> {c} AND b >= {c}",
+    "SELECT a FROM r WHERE a IS NULL OR b = {c}",
+    "SELECT r.a FROM r, s WHERE r.a = s.c",
+    "SELECT r.a FROM r, s WHERE r.b = s.d AND s.c > {c}",
+    "SELECT a FROM r WHERE EXISTS (SELECT * FROM s WHERE s.c = r.a)",
+    "SELECT a FROM r WHERE NOT EXISTS (SELECT * FROM s WHERE s.c = r.a)",
+    "SELECT a FROM r WHERE NOT EXISTS "
+    "(SELECT * FROM s WHERE s.c = r.a AND s.d <> {c})",
+    "SELECT a FROM r WHERE EXISTS "
+    "(SELECT * FROM s WHERE s.c = r.a AND (s.d = {c} OR s.d IS NULL))",
+    "SELECT a FROM r WHERE a IN (SELECT c FROM s)",
+    "SELECT a FROM r WHERE a IN (SELECT c FROM s WHERE d = r.b)",
+    "SELECT a FROM r WHERE a IN ({c}, {d})",
+    "SELECT a FROM r EXCEPT SELECT c FROM s",
+    "SELECT a FROM r UNION SELECT c FROM s",
+    "SELECT a FROM r WHERE NOT EXISTS (SELECT * FROM s WHERE s.c = r.a) "
+    "AND NOT EXISTS (SELECT * FROM s WHERE s.d IS NULL)",
+]
+
+
+def random_db(rng: random.Random) -> Database:
+    def cell():
+        if rng.random() < 0.25:
+            return Null()
+        return rng.choice([1, 2, 3])
+
+    def rows(n):
+        return [(cell(), cell()) for _ in range(n)]
+
+    return Database(
+        {
+            "r": Relation(("a", "b"), rows(rng.randint(1, 5))),
+            "s": Relation(("c", "d"), rows(rng.randint(1, 5))),
+        }
+    )
+
+
+@pytest.mark.parametrize("template_index", range(len(TEMPLATES)))
+@given(seed=st.integers(0, 10_000), c=st.integers(1, 3), d=st.integers(1, 3))
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_engine_matches_reference_semantics(template_index, seed, c, d):
+    sql = TEMPLATES[template_index].format(c=c, d=d)
+    rng = random.Random(seed)
+    db = random_db(rng)
+    query = parse_sql(sql)
+    engine_rows = set(execute_sql(db, query).rows)
+    algebra = sql_to_algebra(query, db)
+    reference_rows = set(evaluate(algebra, db, semantics="sql").rows)
+    assert engine_rows == reference_rows, sql

@@ -1,0 +1,165 @@
+"""False-positive detectors: hand-crafted scenarios per query."""
+
+import datetime
+
+import pytest
+
+from repro.data import Database, Null, Relation
+from repro.fp.detectors import (
+    count_false_positives,
+    detect_q1_false_positive,
+    detect_q2_false_positive,
+    detect_q3_false_positive,
+    detect_q4_false_positive,
+    detector_for,
+)
+
+D = datetime.date
+
+
+def mini_db(**overrides):
+    """A tiny TPC-H-shaped database, overridable per test."""
+    tables = {
+        "lineitem": Relation(
+            ("l_orderkey", "l_partkey", "l_suppkey", "l_commitdate", "l_receiptdate"),
+            [],
+        ),
+        "orders": Relation(("o_orderkey", "o_custkey"), []),
+        "part": Relation(("p_partkey", "p_name"), []),
+        "supplier": Relation(("s_suppkey", "s_nationkey"), []),
+        "nation": Relation(("n_nationkey", "n_name"), [(1, "FRANCE"), (2, "PERU")]),
+    }
+    tables.update(overrides)
+    return Database(tables)
+
+
+class TestQ1:
+    COLS = ("l_orderkey", "l_partkey", "l_suppkey", "l_commitdate", "l_receiptdate")
+
+    def test_null_supplier_late_delivery_flags(self):
+        db = mini_db(
+            lineitem=Relation(
+                self.COLS,
+                [(100, 1, Null(), D(1995, 1, 1), D(1995, 2, 1))],  # late, unknown supp
+            )
+        )
+        assert detect_q1_false_positive({}, db, (7, 100))
+
+    def test_null_dates_flag(self):
+        db = mini_db(
+            lineitem=Relation(self.COLS, [(100, 1, 8, Null(), D(1995, 1, 1))])
+        )
+        assert detect_q1_false_positive({}, db, (7, 100))
+
+    def test_same_supplier_not_a_counterexample(self):
+        db = mini_db(
+            lineitem=Relation(self.COLS, [(100, 1, 7, D(1995, 1, 1), D(1995, 2, 1))])
+        )
+        assert not detect_q1_false_positive({}, db, (7, 100))
+
+    def test_other_supplier_on_time_not_flagged(self):
+        db = mini_db(
+            lineitem=Relation(self.COLS, [(100, 1, 8, D(1995, 3, 1), D(1995, 2, 1))])
+        )
+        assert not detect_q1_false_positive({}, db, (7, 100))
+
+    def test_other_order_ignored(self):
+        db = mini_db(
+            lineitem=Relation(self.COLS, [(999, 1, Null(), Null(), Null())])
+        )
+        assert not detect_q1_false_positive({}, db, (7, 100))
+
+
+class TestQ2:
+    def test_null_custkey_flags_everything(self):
+        db = mini_db(orders=Relation(("o_orderkey", "o_custkey"), [(1, Null())]))
+        assert detect_q2_false_positive({}, db, (5, 1))
+
+    def test_complete_orders_flag_nothing(self):
+        db = mini_db(orders=Relation(("o_orderkey", "o_custkey"), [(1, 5)]))
+        assert not detect_q2_false_positive({}, db, (5, 1))
+
+
+class TestQ3:
+    def test_null_supplier_on_order_flags(self):
+        db = mini_db(
+            lineitem=Relation(
+                ("l_orderkey", "l_partkey", "l_suppkey", "l_commitdate", "l_receiptdate"),
+                [(100, 1, Null(), D(1995, 1, 1), D(1995, 1, 2))],
+            )
+        )
+        assert detect_q3_false_positive({"supp_key": 7}, db, (100,))
+
+    def test_known_suppliers_not_flagged(self):
+        db = mini_db(
+            lineitem=Relation(
+                ("l_orderkey", "l_partkey", "l_suppkey", "l_commitdate", "l_receiptdate"),
+                [(100, 1, 7, D(1995, 1, 1), D(1995, 1, 2))],
+            )
+        )
+        assert not detect_q3_false_positive({"supp_key": 7}, db, (100,))
+
+    def test_null_on_other_order_ignored(self):
+        db = mini_db(
+            lineitem=Relation(
+                ("l_orderkey", "l_partkey", "l_suppkey", "l_commitdate", "l_receiptdate"),
+                [(999, 1, Null(), D(1995, 1, 1), D(1995, 1, 2))],
+            )
+        )
+        assert not detect_q3_false_positive({"supp_key": 7}, db, (100,))
+
+
+class TestQ4:
+    PARAMS = {"color": "red", "nation": "FRANCE"}
+    LCOLS = ("l_orderkey", "l_partkey", "l_suppkey", "l_commitdate", "l_receiptdate")
+
+    def test_null_part_name_and_null_nation_flags(self):
+        db = mini_db(
+            lineitem=Relation(self.LCOLS, [(100, 1, 7, None, None)]),
+            part=Relation(("p_partkey", "p_name"), [(1, Null())]),
+            supplier=Relation(("s_suppkey", "s_nationkey"), [(7, Null())]),
+        )
+        assert detect_q4_false_positive(self.PARAMS, db, (100,))
+
+    def test_matching_name_with_nation_match_flags(self):
+        db = mini_db(
+            lineitem=Relation(self.LCOLS, [(100, 1, 7, None, None)]),
+            part=Relation(("p_partkey", "p_name"), [(1, "dark red lace")]),
+            supplier=Relation(("s_suppkey", "s_nationkey"), [(7, 1)]),  # FRANCE
+        )
+        assert detect_q4_false_positive(self.PARAMS, db, (100,))
+
+    def test_wrong_nation_not_flagged(self):
+        db = mini_db(
+            lineitem=Relation(self.LCOLS, [(100, 1, 7, None, None)]),
+            part=Relation(("p_partkey", "p_name"), [(1, "dark red lace")]),
+            supplier=Relation(("s_suppkey", "s_nationkey"), [(7, 2)]),  # PERU
+        )
+        assert not detect_q4_false_positive(self.PARAMS, db, (100,))
+
+    def test_null_partkey_scans_all_parts(self):
+        db = mini_db(
+            lineitem=Relation(self.LCOLS, [(100, Null(), 7, None, None)]),
+            part=Relation(("p_partkey", "p_name"), [(2, "light red linen")]),
+            supplier=Relation(("s_suppkey", "s_nationkey"), [(7, 1)]),
+        )
+        assert detect_q4_false_positive(self.PARAMS, db, (100,))
+
+    def test_part_match_without_supplier_match_not_flagged(self):
+        db = mini_db(
+            lineitem=Relation(self.LCOLS, [(100, 1, 7, None, None)]),
+            part=Relation(("p_partkey", "p_name"), [(1, "dark red lace")]),
+            supplier=Relation(("s_suppkey", "s_nationkey"), []),
+        )
+        assert not detect_q4_false_positive(self.PARAMS, db, (100,))
+
+
+class TestRegistry:
+    def test_detector_for(self):
+        assert detector_for("Q1") is detect_q1_false_positive
+        with pytest.raises(KeyError):
+            detector_for("Q5")
+
+    def test_count_false_positives(self):
+        db = mini_db(orders=Relation(("o_orderkey", "o_custkey"), [(1, Null())]))
+        assert count_false_positives("Q2", {}, db, [(5, 1), (6, 2)]) == 2

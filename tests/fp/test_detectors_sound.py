@@ -1,0 +1,92 @@
+"""Detector soundness: a flagged answer is never a certain answer.
+
+The detectors only claim a *lower bound* on false positives; here we
+verify the lower bound is valid by cross-checking against brute-force
+certain answers on miniature instances (few constants, few nulls, so
+valuation enumeration stays tractable).
+"""
+
+import random
+
+import pytest
+
+from repro.certain import certain_answers_with_nulls
+from repro.data import Database, Null, Relation
+from repro.engine import execute_sql
+from repro.fp.detectors import detect_q2_false_positive, detect_q3_false_positive
+from repro.sql.parser import parse_sql
+from repro.sql.to_algebra import sql_to_algebra
+
+Q3_MINI = """
+SELECT o_orderkey FROM orders
+WHERE NOT EXISTS (
+  SELECT * FROM lineitem
+  WHERE l_orderkey = o_orderkey AND l_suppkey <> $supp_key )
+"""
+
+Q2_MINI = """
+SELECT c_custkey FROM customer
+WHERE NOT EXISTS (SELECT * FROM orders WHERE o_custkey = c_custkey)
+"""
+
+
+def q3_database(rng):
+    orders = Relation(("o_orderkey",), [(100,), (101,)])
+    rows = []
+    for okey in (100, 101):
+        for _ in range(rng.randint(1, 2)):
+            supp = Null() if rng.random() < 0.4 else rng.choice([1, 2])
+            rows.append((okey, supp))
+    lineitem = Relation(("l_orderkey", "l_suppkey"), rows)
+    return Database({"orders": orders, "lineitem": lineitem})
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_q3_detector_sound(seed):
+    rng = random.Random(seed)
+    db = q3_database(rng)
+    params = {"supp_key": 1}
+    answers = execute_sql(db, Q3_MINI, params)
+    algebra = sql_to_algebra(parse_sql(Q3_MINI), db, params=params)
+    certain = set(certain_answers_with_nulls(algebra, db).rows)
+    for answer in answers.rows:
+        if detect_q3_false_positive(params, db, answer):
+            assert answer not in certain, (
+                f"detector flagged a certain answer {answer} (seed {seed})"
+            )
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_q2_detector_sound(seed):
+    rng = random.Random(100 + seed)
+    customer = Relation(("c_custkey",), [(1,), (2,)])
+    rows = []
+    for okey in range(rng.randint(1, 3)):
+        cust = Null() if rng.random() < 0.4 else rng.choice([1, 2])
+        rows.append((cust,))
+    orders = Relation(("o_custkey",), rows)
+    db = Database({"customer": customer, "orders": orders})
+    answers = execute_sql(db, Q2_MINI)
+    algebra = sql_to_algebra(parse_sql(Q2_MINI), db)
+    certain = set(certain_answers_with_nulls(algebra, db).rows)
+    for answer in answers.rows:
+        if detect_q2_false_positive({}, db, answer):
+            assert answer not in certain
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_detectors_find_real_false_positives(seed):
+    """Completeness spot-check: on instances where SQL *does* return
+    non-certain answers, the Q3 detector flags at least one of them."""
+    rng = random.Random(200 + seed)
+    db = q3_database(rng)
+    params = {"supp_key": 1}
+    answers = set(execute_sql(db, Q3_MINI, params).rows)
+    algebra = sql_to_algebra(parse_sql(Q3_MINI), db, params=params)
+    certain = set(certain_answers_with_nulls(algebra, db).rows)
+    actual_fps = answers - certain
+    if actual_fps:
+        flagged = {
+            a for a in answers if detect_q3_false_positive(params, db, a)
+        }
+        assert flagged & actual_fps

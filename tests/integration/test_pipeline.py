@@ -1,0 +1,75 @@
+"""End-to-end integration: the full reproduction pipeline on one instance.
+
+generate → inject nulls → run Q_i (3VL engine) → detect false positives
+→ rewrite automatically → run Q+_i → check precision/recall claims.
+"""
+
+import random
+
+import pytest
+
+from repro.engine import execute_sql
+from repro.fp.detectors import detector_for
+from repro.sql.parser import parse_sql
+from repro.sql.rewrite import rewrite_certain
+from repro.tpch.datafiller import generate_small_instance
+from repro.tpch.nullify import inject_nulls
+from repro.tpch.queries import QUERIES, sample_parameters
+from repro.tpch.schema import tpch_schema
+
+
+@pytest.fixture(scope="module")
+def setting():
+    schema = tpch_schema()
+    base = generate_small_instance(scale=0.15, seed=31)
+    db = inject_nulls(base, 0.06, seed=32)
+    queries = {
+        qid: (
+            parse_sql(QUERIES[qid][0]),
+            rewrite_certain(parse_sql(QUERIES[qid][0]), schema),
+            parse_sql(QUERIES[qid][1]),
+        )
+        for qid in QUERIES
+    }
+    return db, queries
+
+
+@pytest.mark.parametrize("qid", sorted(QUERIES))
+@pytest.mark.parametrize("draw", range(3))
+def test_full_pipeline(setting, qid, draw):
+    db, queries = setting
+    original, auto_plus, hand_plus = queries[qid]
+    rng = random.Random(hash((qid, draw)) & 0xFFFF)
+    params = sample_parameters(qid, db, rng=rng)
+    detect = detector_for(qid)
+
+    sql_rows = set(execute_sql(db, original, params).rows)
+    auto_rows = set(execute_sql(db, auto_plus, params).rows)
+    hand_rows = set(execute_sql(db, hand_plus, params).rows)
+    flagged = {row for row in sql_rows if detect(params, db, row)}
+
+    # 1. Automatic and appendix rewrites agree exactly.
+    assert auto_rows == hand_rows
+    # 2. Precision: no detected false positive survives the rewriting.
+    assert not (auto_rows & flagged)
+    # 3. Recall (the Section 7 observation): the rewriting returns every
+    #    SQL answer that was not flagged.
+    assert sql_rows - flagged <= auto_rows
+    # 4. For these queries Q+ never invents answers.
+    assert auto_rows <= sql_rows
+
+
+def test_q2_all_answers_false_when_custkey_null(setting):
+    """Q2's signature behaviour: one null o_custkey falsifies everything."""
+    db, queries = setting
+    from repro.data.nulls import is_null
+
+    has_null_cust = any(
+        is_null(v) for v in db["orders"].column("o_custkey")
+    )
+    assert has_null_cust  # 6% nulls on hundreds of orders
+    original, auto_plus, _hand = queries["Q2"]
+    rng = random.Random(77)
+    for _ in range(5):
+        params = sample_parameters("Q2", db, rng=rng)
+        assert execute_sql(db, auto_plus, params).rows == []

@@ -1,0 +1,83 @@
+"""SQL lexer: tokens, literals, comments, errors."""
+
+import pytest
+
+from repro.sql.lexer import SqlSyntaxError, tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.value) for t in tokenize(text)][:-1]  # drop eof
+
+
+class TestBasicTokens:
+    def test_keywords_case_insensitive(self):
+        assert kinds("SELECT select SeLeCt") == [("keyword", "select")] * 3
+
+    def test_identifiers_lowercased(self):
+        assert kinds("Orders O_OrderKey") == [("name", "orders"), ("name", "o_orderkey")]
+
+    def test_operators(self):
+        assert [v for _k, v in kinds("= <> != <= >= < > || ( ) , . * ;")] == [
+            "=", "<>", "<>", "<=", ">=", "<", ">", "||", "(", ")", ",", ".", "*", ";",
+        ]
+
+    def test_numbers(self):
+        assert kinds("42 3.14 0.00") == [
+            ("number", 42),
+            ("number", 3.14),
+            ("number", 0.0),
+        ]
+
+    def test_qualified_name_is_not_a_decimal(self):
+        tokens = kinds("l1.l_suppkey")
+        assert tokens == [("name", "l1"), ("op", "."), ("name", "l_suppkey")]
+
+
+class TestStrings:
+    def test_simple(self):
+        assert kinds("'hello'") == [("string", "hello")]
+
+    def test_quote_escape(self):
+        assert kinds("'it''s'") == [("string", "it's")]
+
+    def test_empty(self):
+        assert kinds("''") == [("string", "")]
+
+    def test_unterminated(self):
+        with pytest.raises(SqlSyntaxError, match="unterminated string"):
+            tokenize("'oops")
+
+
+class TestParams:
+    def test_param(self):
+        assert kinds("$nation") == [("param", "nation")]
+
+    def test_param_needs_name(self):
+        with pytest.raises(SqlSyntaxError, match="empty parameter"):
+            tokenize("$ x")
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("SELECT -- all of it\n1") == [("keyword", "select"), ("number", 1)]
+
+    def test_block_comment(self):
+        assert kinds("SELECT /* inner */ 1") == [("keyword", "select"), ("number", 1)]
+
+    def test_unterminated_block(self):
+        with pytest.raises(SqlSyntaxError, match="unterminated block"):
+            tokenize("SELECT /* ...")
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError, match="unexpected character"):
+            tokenize("SELECT #")
+
+    def test_error_reports_position(self):
+        with pytest.raises(SqlSyntaxError, match="line 2"):
+            tokenize("SELECT\n  #")
+
+
+def test_eof_token_present():
+    assert tokenize("")[-1].kind == "eof"

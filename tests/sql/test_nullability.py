@@ -1,0 +1,118 @@
+"""Nullability analysis: schema facts + positive-context forcing."""
+
+import pytest
+
+from repro.sql import ast
+from repro.sql.nullability import Catalog, RewriteError, Scope, forced_nonnull
+from repro.sql.parser import parse_sql
+from repro.tpch.queries import Q1_SQL
+from repro.tpch.schema import tpch_schema
+
+
+@pytest.fixture
+def catalog():
+    return Catalog(tpch_schema())
+
+
+def scope_for(sql: str, catalog: Catalog) -> Scope:
+    select = parse_sql(sql).body
+    scope = Scope(select.tables, catalog)
+    forced_nonnull(select.where, scope)
+    return scope
+
+
+class TestSchemaFacts:
+    def test_key_columns_not_nullable(self, catalog):
+        scope = scope_for("SELECT * FROM orders", catalog)
+        assert not scope.is_possibly_null(ast.ColumnRef("o_orderkey"))
+        assert scope.is_possibly_null(ast.ColumnRef("o_custkey"))
+
+    def test_composite_key_of_lineitem(self, catalog):
+        scope = scope_for("SELECT * FROM lineitem", catalog)
+        assert not scope.is_possibly_null(ast.ColumnRef("l_orderkey"))
+        assert not scope.is_possibly_null(ast.ColumnRef("l_linenumber"))
+        assert scope.is_possibly_null(ast.ColumnRef("l_suppkey"))
+
+    def test_nation_is_complete(self, catalog):
+        scope = scope_for("SELECT * FROM nation", catalog)
+        assert not scope.is_possibly_null(ast.ColumnRef("n_name"))
+
+
+class TestForcing:
+    def test_comparison_forces_both_sides(self, catalog):
+        scope = scope_for(
+            "SELECT * FROM supplier, lineitem WHERE s_suppkey = l_suppkey", catalog
+        )
+        assert not scope.is_possibly_null(ast.ColumnRef("l_suppkey"))
+
+    def test_or_forces_nothing(self, catalog):
+        scope = scope_for(
+            "SELECT * FROM lineitem WHERE l_suppkey = 1 OR l_partkey = 2", catalog
+        )
+        assert scope.is_possibly_null(ast.ColumnRef("l_suppkey"))
+
+    def test_is_not_null_forces(self, catalog):
+        scope = scope_for(
+            "SELECT * FROM lineitem WHERE l_suppkey IS NOT NULL", catalog
+        )
+        assert not scope.is_possibly_null(ast.ColumnRef("l_suppkey"))
+
+    def test_in_list_forces_expr(self, catalog):
+        scope = scope_for(
+            "SELECT * FROM customer WHERE c_nationkey IN (1, 2)", catalog
+        )
+        assert not scope.is_possibly_null(ast.ColumnRef("c_nationkey"))
+
+    def test_positive_exists_forces_outer_columns(self, catalog):
+        """The Q1 situation: EXISTS(l2 … l2.l_suppkey <> l1.l_suppkey)
+        forces the *outer* l1.l_suppkey but not l2's own columns."""
+        select = parse_sql(Q1_SQL).body
+        scope = Scope(select.tables, catalog)
+        forced_nonnull(select.where, scope)
+        assert not scope.is_possibly_null(ast.ColumnRef("l_suppkey", "l1"))
+        assert not scope.is_possibly_null(ast.ColumnRef("l_receiptdate", "l1"))
+        assert not scope.is_possibly_null(ast.ColumnRef("l_commitdate", "l1"))
+
+    def test_negated_exists_forces_nothing(self, catalog):
+        scope = scope_for(
+            "SELECT * FROM orders WHERE NOT EXISTS "
+            "(SELECT * FROM lineitem WHERE l_suppkey = o_custkey)",
+            catalog,
+        )
+        assert scope.is_possibly_null(ast.ColumnRef("o_custkey"))
+
+
+class TestCatalogViews:
+    def test_view_columns_inherit_nullability(self, catalog):
+        view = parse_sql("SELECT p_partkey FROM part WHERE p_name IS NULL")
+        catalog.register_view("part_view", view)
+        assert catalog.columns_of("part_view") == ("p_partkey",)
+        assert not catalog.is_nullable("part_view", "p_partkey")
+
+    def test_union_view_merges_nullability(self, catalog):
+        view = parse_sql(
+            "SELECT p_partkey FROM part WHERE p_name IS NULL "
+            "UNION SELECT p_partkey FROM part"
+        )
+        catalog.register_view("pv", view)
+        assert not catalog.is_nullable("pv", "p_partkey")
+
+    def test_aggregate_output_nullable(self, catalog):
+        view = parse_sql("SELECT AVG(c_acctbal) AS a FROM customer")
+        catalog.register_view("v", view)
+        assert catalog.is_nullable("v", "a")
+
+
+class TestResolution:
+    def test_unknown_table(self, catalog):
+        with pytest.raises(RewriteError, match="unknown table"):
+            Scope((ast.TableRef("nope"),), catalog)
+
+    def test_unknown_column(self, catalog):
+        scope = scope_for("SELECT * FROM orders", catalog)
+        with pytest.raises(RewriteError):
+            scope.resolve(ast.ColumnRef("no_such_col", "orders"))
+
+    def test_duplicate_binding(self, catalog):
+        with pytest.raises(RewriteError, match="duplicate"):
+            Scope((ast.TableRef("orders"), ast.TableRef("orders")), catalog)

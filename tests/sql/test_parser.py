@@ -1,0 +1,172 @@
+"""SQL parser: structure, precedence, subqueries, errors, round-trips."""
+
+import pytest
+
+from repro.sql import ast
+from repro.sql.lexer import SqlSyntaxError
+from repro.sql.parser import parse_condition, parse_sql
+from repro.sql.printer import to_sql
+from repro.tpch.queries import QUERIES
+
+
+def body(sql):
+    query = parse_sql(sql)
+    assert isinstance(query.body, ast.Select)
+    return query.body
+
+
+class TestSelectStructure:
+    def test_minimal(self):
+        select = body("SELECT a FROM t")
+        assert select.columns == (ast.OutputColumn(ast.ColumnRef("a")),)
+        assert select.tables == (ast.TableRef("t"),)
+        assert select.where is None
+        assert not select.distinct
+
+    def test_distinct_star_and_aliases(self):
+        select = body("SELECT DISTINCT * FROM orders o, lineitem AS l")
+        assert select.distinct
+        assert isinstance(select.columns[0], ast.Star)
+        assert select.tables == (
+            ast.TableRef("orders", "o"),
+            ast.TableRef("lineitem", "l"),
+        )
+
+    def test_output_aliases(self):
+        select = body("SELECT a AS x, t.b y FROM t")
+        assert select.columns[0].alias == "x"
+        assert select.columns[1].alias == "y"
+        assert select.columns[1].expr == ast.ColumnRef("b", "t")
+
+
+class TestConditions:
+    def test_precedence_or_under_and(self):
+        cond = parse_condition("a = 1 AND b = 2 OR c = 3")
+        assert isinstance(cond, ast.BoolOp) and cond.op == "or"
+
+    def test_parentheses_group(self):
+        cond = parse_condition("a = 1 AND (b = 2 OR c = 3)")
+        assert isinstance(cond, ast.BoolOp) and cond.op == "and"
+        assert isinstance(cond.items[1], ast.BoolOp) and cond.items[1].op == "or"
+
+    def test_not(self):
+        cond = parse_condition("NOT a = 1")
+        assert isinstance(cond, ast.NotOp)
+
+    def test_is_null_variants(self):
+        assert parse_condition("a IS NULL") == ast.IsNull(ast.ColumnRef("a"))
+        assert parse_condition("a IS NOT NULL") == ast.IsNull(
+            ast.ColumnRef("a"), negated=True
+        )
+
+    def test_like_and_not_like(self):
+        cond = parse_condition("p_name LIKE '%red%'")
+        assert cond.op == "like"
+        cond = parse_condition("p_name NOT LIKE '%red%'")
+        assert cond.op == "not like"
+
+    def test_concat_in_like_pattern(self):
+        cond = parse_condition("p_name LIKE '%' || $color || '%'")
+        assert isinstance(cond.right, ast.Concat)
+        assert cond.right.parts[1] == ast.Param("color")
+
+    def test_in_value_list(self):
+        cond = parse_condition("a IN (1, 2, 3)")
+        assert isinstance(cond, ast.InPredicate)
+        assert len(cond.values) == 3
+
+    def test_in_param(self):
+        cond = parse_condition("a IN ($countries)")
+        assert cond.values == (ast.Param("countries"),)
+
+    def test_not_in_subquery(self):
+        cond = parse_condition("a NOT IN (SELECT b FROM t)")
+        assert isinstance(cond, ast.InPredicate)
+        assert cond.negated and cond.query is not None
+
+    def test_exists(self):
+        cond = parse_condition("EXISTS (SELECT * FROM t)")
+        assert isinstance(cond, ast.Exists) and not cond.negated
+
+    def test_not_exists(self):
+        cond = parse_condition("NOT EXISTS (SELECT * FROM t)")
+        assert isinstance(cond, ast.Exists) and cond.negated
+
+    def test_boolean_literals(self):
+        assert parse_condition("TRUE") == ast.BoolLiteral(True)
+        assert parse_condition("FALSE") == ast.BoolLiteral(False)
+
+    def test_comparison_with_scalar_subquery(self):
+        cond = parse_condition("c_acctbal > (SELECT AVG(c_acctbal) FROM customer)")
+        assert isinstance(cond.right, ast.ScalarSubquery)
+
+
+class TestSetOpsAndCtes:
+    def test_union(self):
+        query = parse_sql("SELECT a FROM t UNION SELECT b FROM u")
+        assert isinstance(query.body, ast.SetOp)
+        assert query.body.op == "union" and not query.body.all
+
+    def test_union_all_and_chaining(self):
+        query = parse_sql(
+            "SELECT a FROM t UNION ALL SELECT b FROM u EXCEPT SELECT c FROM v"
+        )
+        assert query.body.op == "except"
+        assert query.body.left.body.op == "union"
+        assert query.body.left.body.all
+
+    def test_with(self):
+        query = parse_sql(
+            "WITH v AS (SELECT a FROM t), w AS (SELECT b FROM u) SELECT * FROM v"
+        )
+        assert [name for name, _q in query.ctes] == ["v", "w"]
+
+    def test_parenthesised_operand(self):
+        query = parse_sql("(SELECT a FROM t) UNION (SELECT b FROM u)")
+        assert query.body.op == "union"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT",
+            "SELECT a",
+            "SELECT a FROM",
+            "SELECT a FROM t WHERE",
+            "SELECT a FROM t WHERE a =",
+            "SELECT a FROM t GROUP BY a",
+            "SELECT a FROM t; extra",
+            "SELECT (a) FROM t",
+        ],
+    )
+    def test_rejects(self, sql):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql(sql)
+
+    def test_trailing_semicolon_accepted(self):
+        parse_sql("SELECT a FROM t;")
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("qid", sorted(QUERIES))
+    def test_paper_queries_round_trip(self, qid):
+        original_sql, appendix_sql, _ = QUERIES[qid]
+        for sql in (original_sql, appendix_sql):
+            first = parse_sql(sql)
+            assert parse_sql(to_sql(first)) == first
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT DISTINCT a, b AS c FROM t u WHERE a IS NOT NULL",
+            "SELECT a FROM t WHERE x NOT IN (1, 2) AND NOT (a = 1 OR b = 2)",
+            "WITH v AS (SELECT a FROM t) SELECT a FROM v WHERE EXISTS "
+            "(SELECT * FROM v u WHERE u.a = v.a)",
+            "SELECT count(*) AS n FROM t",
+            "SELECT a FROM t WHERE b > (SELECT MAX(b) FROM t) OR b IS NULL",
+        ],
+    )
+    def test_misc_round_trips(self, sql):
+        first = parse_sql(sql)
+        assert parse_sql(to_sql(first)) == first

@@ -1,0 +1,91 @@
+"""SQL printer: formatting details beyond the round-trip tests."""
+
+import pytest
+
+from repro.sql.parser import parse_condition, parse_sql
+from repro.sql.printer import to_sql
+from repro.sql import ast
+
+
+class TestLiterals:
+    def test_string_quotes_escaped(self):
+        query = parse_sql("SELECT a FROM t WHERE b = 'it''s'")
+        assert "'it''s'" in to_sql(query)
+
+    def test_numbers(self):
+        query = parse_sql("SELECT a FROM t WHERE b = 42 AND c = 3.5")
+        text = to_sql(query)
+        assert "42" in text and "3.5" in text
+
+    def test_params_preserved(self):
+        query = parse_sql("SELECT a FROM t WHERE b = $x")
+        assert "$x" in to_sql(query)
+
+
+class TestStructure:
+    def test_distinct_rendered(self):
+        assert "SELECT DISTINCT" in to_sql(parse_sql("SELECT DISTINCT a FROM t"))
+
+    def test_aliases_rendered(self):
+        text = to_sql(parse_sql("SELECT a AS x FROM t u"))
+        assert "AS x" in text and "t u" in text
+
+    def test_or_parenthesised_under_and(self):
+        query = parse_sql("SELECT a FROM t WHERE a = 1 AND (b = 2 OR c = 3)")
+        text = to_sql(query)
+        assert "( b = 2 OR c = 3 )" in text
+
+    def test_not_exists_indented(self):
+        query = parse_sql(
+            "SELECT a FROM t WHERE NOT EXISTS (SELECT * FROM u WHERE u.a = t.a)"
+        )
+        text = to_sql(query)
+        assert "NOT EXISTS (" in text
+        assert "\n  SELECT *" in text
+
+    def test_with_views_rendered(self):
+        query = parse_sql("WITH v AS (SELECT a FROM t) SELECT a FROM v")
+        text = to_sql(query)
+        assert text.startswith("WITH")
+        assert "v AS (" in text
+
+    def test_union_rendered(self):
+        text = to_sql(parse_sql("SELECT a FROM t UNION ALL SELECT a FROM u"))
+        assert "UNION ALL" in text
+
+    def test_in_list(self):
+        text = to_sql(parse_sql("SELECT a FROM t WHERE a IN (1, 2, 3)"))
+        assert "IN (1, 2, 3)" in text
+
+    def test_not_like(self):
+        text = to_sql(parse_sql("SELECT a FROM t WHERE b NOT LIKE '%x%'"))
+        assert "NOT LIKE" in text
+
+    def test_is_not_null(self):
+        text = to_sql(parse_sql("SELECT a FROM t WHERE b IS NOT NULL"))
+        assert "IS NOT NULL" in text
+
+    def test_scalar_subquery(self):
+        text = to_sql(parse_sql("SELECT a FROM t WHERE a > (SELECT AVG(a) FROM t)"))
+        assert "AVG(a)" in text
+
+    def test_bool_literals(self):
+        text = to_sql(parse_sql("SELECT a FROM t WHERE TRUE AND FALSE"))
+        assert "TRUE" in text and "FALSE" in text
+
+    def test_not_rendered(self):
+        text = to_sql(parse_sql("SELECT a FROM t WHERE NOT (a = 1 AND b = 2)"))
+        assert "NOT (" in text
+
+
+class TestErrors:
+    def test_unknown_expression_type(self):
+        with pytest.raises(TypeError):
+            to_sql(
+                ast.Query(
+                    body=ast.Select(
+                        columns=(ast.OutputColumn(object()),),  # type: ignore
+                        tables=(ast.TableRef("t"),),
+                    )
+                )
+            )

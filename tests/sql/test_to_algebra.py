@@ -1,0 +1,113 @@
+"""SQL → relational algebra: agreement with the engine, scoping rules."""
+
+import pytest
+
+from repro.algebra import evaluate
+from repro.data import Database, Null, Relation
+from repro.engine import execute_sql
+from repro.sql.parser import parse_sql
+from repro.sql.to_algebra import AlgebraTranslationError, sql_to_algebra
+
+
+@pytest.fixture
+def db():
+    n = Null()
+    return Database(
+        {
+            "emp": Relation(
+                ("eid", "dept", "boss"),
+                [(1, "db", 2), (2, "db", n), (3, "os", 1)],
+            ),
+            "dep": Relation(("dname", "head"), [("db", 2), ("os", 3)]),
+        }
+    )
+
+
+CASES = [
+    "SELECT eid FROM emp",
+    "SELECT eid, dept FROM emp WHERE eid > 1",
+    "SELECT e.eid FROM emp e, dep d WHERE e.dept = d.dname",
+    "SELECT eid FROM emp WHERE dept = 'db' AND eid <> 2",
+    "SELECT eid FROM emp WHERE EXISTS "
+    "(SELECT * FROM dep WHERE head = emp.eid)",
+    "SELECT eid FROM emp WHERE NOT EXISTS "
+    "(SELECT * FROM dep WHERE head = emp.eid)",
+    "SELECT eid FROM emp WHERE eid IN (SELECT head FROM dep)",
+    "SELECT eid FROM emp WHERE dept IN ('db', 'os') AND eid >= 2",
+    "SELECT dname FROM dep UNION SELECT dept FROM emp",
+    "SELECT dept FROM emp EXCEPT SELECT dname FROM dep WHERE head = 2",
+    "SELECT e1.eid FROM emp e1, emp e2 WHERE e1.boss = e2.eid",
+    "WITH heads AS (SELECT head FROM dep) "
+    "SELECT eid FROM emp WHERE eid IN (SELECT head FROM heads)",
+]
+
+
+@pytest.mark.parametrize("sql", CASES)
+def test_engine_and_algebra_agree_under_3vl(sql, db):
+    """The engine and the reference algebra evaluator must compute the
+    same answers for the EXISTS/IN fragment under SQL semantics."""
+    query = parse_sql(sql)
+    expr = sql_to_algebra(query, db)
+    algebra_result = evaluate(expr, db, semantics="sql")
+    engine_result = execute_sql(db, query)
+    assert set(engine_result.rows) == set(algebra_result.rows)
+
+
+def test_parameters_are_folded(db):
+    expr = sql_to_algebra(
+        parse_sql("SELECT eid FROM emp WHERE dept = $d"), db, params={"d": "os"}
+    )
+    out = evaluate(expr, db, semantics="sql")
+    assert out.rows == [(3,)]
+
+
+def test_list_parameter_expansion(db):
+    expr = sql_to_algebra(
+        parse_sql("SELECT eid FROM emp WHERE eid IN ($ids)"),
+        db,
+        params={"ids": [1, 3]},
+    )
+    out = evaluate(expr, db, semantics="sql")
+    assert set(out.rows) == {(1,), (3,)}
+
+
+def test_unbound_parameter_rejected(db):
+    with pytest.raises(AlgebraTranslationError, match="unbound parameter"):
+        sql_to_algebra(parse_sql("SELECT eid FROM emp WHERE dept = $d"), db)
+
+
+def test_scalar_subquery_requires_resolver(db):
+    sql = "SELECT eid FROM emp WHERE eid > (SELECT AVG(eid) FROM emp)"
+    with pytest.raises(AlgebraTranslationError, match="scalar"):
+        sql_to_algebra(parse_sql(sql), db)
+
+
+def test_scalar_subquery_with_resolver(db):
+    sql = "SELECT eid FROM emp WHERE eid > (SELECT AVG(eid) FROM emp)"
+    expr = sql_to_algebra(parse_sql(sql), db, scalar_resolver=lambda q: 2)
+    out = evaluate(expr, db, semantics="sql")
+    assert out.rows == [(3,)]
+
+
+def test_ambiguous_column_rejected(db):
+    # 'head' exists in dep only — but eid in both emp aliases.
+    sql = "SELECT eid FROM emp e1, emp e2 WHERE boss = 1"
+    with pytest.raises(AlgebraTranslationError, match="ambiguous"):
+        sql_to_algebra(parse_sql(sql), db)
+
+
+def test_in_subquery_must_select_single_column(db):
+    sql = "SELECT eid FROM emp WHERE eid IN (SELECT * FROM dep)"
+    with pytest.raises(AlgebraTranslationError):
+        sql_to_algebra(parse_sql(sql), db)
+
+
+def test_select_star_keeps_qualified_names(db):
+    expr = sql_to_algebra(parse_sql("SELECT * FROM dep"), db)
+    out = evaluate(expr, db, semantics="sql")
+    assert out.attributes == ("dep.dname", "dep.head")
+
+
+def test_duplicate_output_names_rejected(db):
+    with pytest.raises(AlgebraTranslationError, match="duplicate"):
+        sql_to_algebra(parse_sql("SELECT eid, eid FROM emp"), db)

@@ -1,0 +1,57 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestRewriteCommand:
+    def test_rewrites_q3(self, capsys):
+        sql = (
+            "SELECT o_orderkey FROM orders WHERE NOT EXISTS "
+            "(SELECT * FROM lineitem WHERE l_orderkey = o_orderkey "
+            "AND l_suppkey <> $supp_key)"
+        )
+        assert main(["rewrite", sql]) == 0
+        out = capsys.readouterr().out
+        assert "l_suppkey IS NULL" in out
+
+    def test_split_option(self, capsys):
+        sql = (
+            "SELECT c_custkey FROM customer WHERE NOT EXISTS "
+            "(SELECT * FROM orders WHERE o_custkey = c_custkey)"
+        )
+        assert main(["rewrite", "--split", "never", sql]) == 0
+        out = capsys.readouterr().out
+        assert out.count("NOT EXISTS") == 1
+
+    def test_stdin(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("SELECT o_orderkey FROM orders"))
+        assert main(["rewrite"]) == 0
+        assert "SELECT" in capsys.readouterr().out
+
+
+class TestExplainCommand:
+    def test_named_query(self, capsys):
+        assert main(["explain", "Q3", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "cost" in out and "orders" in out
+
+    def test_ad_hoc_sql(self, capsys):
+        assert main(["explain", "SELECT o_orderkey FROM orders", "--scale", "0.05"]) == 0
+        assert "scan orders" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("figure1", "figure4", "table1", "section5", "recall",
+                        "rewrite", "explain"):
+            assert command in text
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

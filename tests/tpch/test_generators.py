@@ -1,0 +1,128 @@
+"""DBGen and DataFiller substitutes: sizes, consistency, determinism."""
+
+import datetime
+
+import pytest
+
+from repro.tpch.datafiller import generate_small_instance
+from repro.tpch.dbgen import ScaleProfile, generate_instance
+from repro.tpch.schema import TABLE_RATIOS
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate_instance(scale=0.2, seed=42)
+
+
+class TestScaleProfile:
+    def test_ratios(self):
+        profile = ScaleProfile(1.0)
+        assert profile.rows("lineitem") == 6000
+        assert profile.rows("orders") == 1500
+        assert profile.rows("nation") == 25
+
+    def test_minimum_one_row(self):
+        assert ScaleProfile(0.0001).rows("supplier") == 1
+
+
+class TestDbgen:
+    def test_row_counts_follow_ratios(self, db):
+        for table in ("supplier", "customer", "orders", "lineitem"):
+            expected = max(1, round(TABLE_RATIOS[table] * 0.2))
+            assert abs(len(db[table]) - expected) <= expected * 0.05 + 1
+
+    def test_deterministic_by_seed(self):
+        a = generate_instance(scale=0.05, seed=9)
+        b = generate_instance(scale=0.05, seed=9)
+        assert a["orders"].rows == b["orders"].rows
+        c = generate_instance(scale=0.05, seed=10)
+        assert a["orders"].rows != c["orders"].rows
+
+    def test_complete(self, db):
+        assert db.is_complete()
+
+    def test_foreign_keys_consistent(self, db):
+        order_keys = set(db["orders"].column("o_orderkey"))
+        part_keys = set(db["part"].column("p_partkey"))
+        supp_keys = set(db["supplier"].column("s_suppkey"))
+        cust_keys = set(db["customer"].column("c_custkey"))
+        nation_keys = set(db["nation"].column("n_nationkey"))
+        assert set(db["lineitem"].column("l_orderkey")) <= order_keys
+        assert set(db["lineitem"].column("l_partkey")) <= part_keys
+        assert set(db["lineitem"].column("l_suppkey")) <= supp_keys
+        assert set(db["orders"].column("o_custkey")) <= cust_keys
+        assert set(db["supplier"].column("s_nationkey")) <= nation_keys
+
+    def test_primary_keys_unique(self, db):
+        okeys = db["orders"].column("o_orderkey")
+        assert len(set(okeys)) == len(okeys)
+        line_pk = [
+            (r[0], r[3]) for r in db["lineitem"].rows
+        ]  # (l_orderkey, l_linenumber)
+        assert len(set(line_pk)) == len(line_pk)
+
+    def test_every_order_has_lineitems(self, db):
+        with_items = set(db["lineitem"].column("l_orderkey"))
+        assert set(db["orders"].column("o_orderkey")) <= with_items
+
+    def test_date_consistency(self, db):
+        li = db["lineitem"]
+        i_ship = li.index_of("l_shipdate")
+        i_receipt = li.index_of("l_receiptdate")
+        for row in li.rows:
+            assert row[i_receipt] > row[i_ship]
+
+    def test_late_deliveries_exist(self, db):
+        """Q1 needs rows with l_receiptdate > l_commitdate."""
+        li = db["lineitem"]
+        i_commit = li.index_of("l_commitdate")
+        i_receipt = li.index_of("l_receiptdate")
+        late = sum(1 for r in li.rows if r[i_receipt] > r[i_commit])
+        assert 0.1 < late / len(li) < 0.9
+
+    def test_finalised_orders_exist(self, db):
+        statuses = set(db["orders"].column("o_orderstatus"))
+        assert "F" in statuses and "O" in statuses
+
+    def test_multi_and_single_supplier_orders_exist(self, db):
+        """Q1 wants multi-supplier orders, Q3 single-supplier ones."""
+        suppliers_of = {}
+        li = db["lineitem"]
+        i_s = li.index_of("l_suppkey")
+        for row in li.rows:
+            suppliers_of.setdefault(row[0], set()).add(row[i_s])
+        counts = [len(s) for s in suppliers_of.values()]
+        assert any(c == 1 for c in counts)
+        assert any(c > 1 for c in counts)
+
+    def test_some_customers_without_orders(self, db):
+        ordering = set(db["orders"].column("o_custkey"))
+        all_customers = set(db["customer"].column("c_custkey"))
+        assert all_customers - ordering
+
+    def test_nations_fixed(self, db):
+        assert len(db["nation"]) == 25
+        assert len(db["region"]) == 5
+
+
+class TestDataFiller:
+    def test_sizes_and_completeness(self):
+        db = generate_small_instance(scale=0.05, seed=1)
+        assert db.is_complete()
+        assert len(db["lineitem"]) == 300
+        assert len(db["orders"]) == 75
+
+    def test_deterministic(self):
+        a = generate_small_instance(scale=0.02, seed=5)
+        b = generate_small_instance(scale=0.02, seed=5)
+        assert a["customer"].rows == b["customer"].rows
+
+    def test_partsupp_capped_at_distinct_pairs(self):
+        db = generate_small_instance(scale=0.02, seed=5)
+        n_pairs = len(db["part"]) * len(db["supplier"])
+        assert len(db["partsupp"]) <= n_pairs
+
+    def test_carries_schema(self):
+        db = generate_small_instance(scale=0.02, seed=5)
+        assert db.schema is not None
+        assert "lineitem" in db.schema

@@ -1,0 +1,80 @@
+"""Null injection: rates, targets, determinism."""
+
+import pytest
+
+from repro.data import Database, Relation
+from repro.data.nulls import is_null
+from repro.tpch.datafiller import generate_small_instance
+from repro.tpch.nullify import inject_nulls
+
+
+@pytest.fixture(scope="module")
+def base():
+    return generate_small_instance(scale=0.2, seed=3)
+
+
+def null_fraction(db, table, column):
+    values = db[table].column(column)
+    return sum(1 for v in values if is_null(v)) / len(values)
+
+
+class TestInjection:
+    def test_rate_is_respected(self, base):
+        db = inject_nulls(base, 0.10, seed=1)
+        rate = null_fraction(db, "lineitem", "l_suppkey")
+        assert 0.05 < rate < 0.16
+
+    def test_zero_rate_is_identity(self, base):
+        db = inject_nulls(base, 0.0, seed=1)
+        assert db["lineitem"].rows == base["lineitem"].rows
+
+    def test_key_attributes_never_nullified(self, base):
+        db = inject_nulls(base, 0.5, seed=2)
+        assert null_fraction(db, "lineitem", "l_orderkey") == 0.0
+        assert null_fraction(db, "orders", "o_orderkey") == 0.0
+
+    def test_nation_never_nullified(self, base):
+        db = inject_nulls(base, 0.5, seed=2)
+        for column in db["nation"].attributes:
+            assert null_fraction(db, "nation", column) == 0.0
+
+    def test_nullable_foreign_keys_nullified(self, base):
+        db = inject_nulls(base, 0.3, seed=2)
+        assert null_fraction(db, "orders", "o_custkey") > 0.1
+
+    def test_injected_nulls_are_fresh_codd_nulls(self, base):
+        db = inject_nulls(base, 0.2, seed=4)
+        nulls = []
+        for _name, rel in db.items():
+            for row in rel.rows:
+                nulls.extend(v for v in row if is_null(v))
+        assert len(nulls) == len(set(nulls))  # no repeated labels
+
+    def test_deterministic_by_seed(self, base):
+        a = inject_nulls(base, 0.1, seed=7)
+        b = inject_nulls(base, 0.1, seed=7)
+        for name in a.relation_names():
+            pattern_a = [
+                [is_null(v) for v in row] for row in a[name].rows
+            ]
+            pattern_b = [
+                [is_null(v) for v in row] for row in b[name].rows
+            ]
+            assert pattern_a == pattern_b
+
+    def test_original_untouched(self, base):
+        inject_nulls(base, 0.5, seed=9)
+        assert base.is_complete()
+
+
+class TestValidation:
+    def test_rate_bounds(self, base):
+        with pytest.raises(ValueError, match="null rate"):
+            inject_nulls(base, 1.5)
+        with pytest.raises(ValueError, match="null rate"):
+            inject_nulls(base, -0.1)
+
+    def test_schema_required(self):
+        db = Database({"t": Relation(("a",), [(1,)])})
+        with pytest.raises(ValueError, match="schema"):
+            inject_nulls(db, 0.1)

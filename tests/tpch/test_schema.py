@@ -1,0 +1,76 @@
+"""The TPC-H schema and the paper's nullability policy."""
+
+import pytest
+
+from repro.tpch.schema import TABLE_RATIOS, tpch_schema
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return tpch_schema()
+
+
+class TestTables:
+    def test_all_eight_tables(self, schema):
+        assert set(schema.relation_names()) == {
+            "region",
+            "nation",
+            "supplier",
+            "part",
+            "partsupp",
+            "customer",
+            "orders",
+            "lineitem",
+        }
+
+    def test_lineitem_is_largest_ratio(self):
+        assert TABLE_RATIOS["lineitem"] == max(TABLE_RATIOS.values())
+        assert TABLE_RATIOS["orders"] == sorted(TABLE_RATIOS.values())[-2]
+
+    def test_arities(self, schema):
+        assert schema["lineitem"].arity == 16
+        assert schema["orders"].arity == 9
+        assert schema["part"].arity == 9
+
+
+class TestKeys:
+    def test_primary_keys(self, schema):
+        assert schema["orders"].key == ("o_orderkey",)
+        assert schema["supplier"].key == ("s_suppkey",)
+        assert schema["lineitem"].key == ("l_orderkey", "l_linenumber")
+        assert schema["partsupp"].key == ("ps_partkey", "ps_suppkey")
+
+
+class TestNullabilityPolicy:
+    def test_key_attributes_non_nullable(self, schema):
+        assert not schema["lineitem"].is_nullable("l_orderkey")
+        assert not schema["orders"].is_nullable("o_orderkey")
+
+    def test_foreign_keys_nullable(self, schema):
+        """The attributes driving the paper's false positives."""
+        assert schema["lineitem"].is_nullable("l_suppkey")
+        assert schema["lineitem"].is_nullable("l_partkey")
+        assert schema["orders"].is_nullable("o_custkey")
+        assert schema["supplier"].is_nullable("s_nationkey")
+
+    def test_dates_nullable(self, schema):
+        assert schema["lineitem"].is_nullable("l_commitdate")
+        assert schema["lineitem"].is_nullable("l_receiptdate")
+
+    def test_nation_and_region_complete(self, schema):
+        """Matches the appendix: supp_view has no n_name IS NULL branch."""
+        assert schema["nation"].nullable_attributes() == ()
+        assert schema["region"].nullable_attributes() == ()
+
+
+class TestForeignKeys:
+    def test_lineitem_references(self, schema):
+        refs = {
+            (fk.table, fk.ref_table)
+            for fk in schema.foreign_keys
+        }
+        assert ("lineitem", "orders") in refs
+        assert ("lineitem", "part") in refs
+        assert ("lineitem", "supplier") in refs
+        assert ("orders", "customer") in refs
+        assert ("supplier", "nation") in refs

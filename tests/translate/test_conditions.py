@@ -1,0 +1,172 @@
+"""θ* and θ** condition translations, theoretical and SQL-adjusted.
+
+The central soundness properties are checked by exhaustive enumeration
+over small valuation domains:
+
+* θ* true (naive) on a tuple  ⇒  θ true under *every* valuation;
+* θ true under *some* valuation  ⇒  θ** true (naive);
+* the SQL-adjusted variants satisfy the same with 3VL evaluation.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.algebra.conditions import (
+    And,
+    Attr,
+    Comparison,
+    Const,
+    FalseCond,
+    Not,
+    NullTest,
+    Or,
+    TrueCond,
+    eq,
+    eval_3vl,
+    eval_naive,
+    neq,
+)
+from repro.data.nulls import Null, is_null
+from repro.translate.conditions import translate_certain, translate_possible
+
+
+class TestStarForms:
+    def test_equality_unchanged_in_theory(self):
+        assert translate_certain(eq("A", "B")) == eq("A", "B")
+
+    def test_equality_guarded_when_sql_adjusted(self):
+        out = translate_certain(eq("A", "B"), sql_adjusted=True)
+        assert out == And(
+            eq("A", "B"),
+            NullTest(Attr("A"), False),
+            NullTest(Attr("B"), False),
+        )
+
+    def test_disequality_guarded_always(self):
+        expected = And(
+            neq("A", "B"),
+            NullTest(Attr("A"), False),
+            NullTest(Attr("B"), False),
+        )
+        assert translate_certain(neq("A", "B")) == expected
+        assert translate_certain(neq("A", "B"), sql_adjusted=True) == expected
+
+    def test_constant_comparisons_guard_only_attributes(self):
+        out = translate_certain(neq("A", 5))
+        assert out == And(neq("A", 5), NullTest(Attr("A"), False))
+
+    def test_order_ops_treated_like_disequality(self):
+        cmp = Comparison("<", Attr("A"), Attr("B"))
+        out = translate_certain(cmp)
+        assert isinstance(out, And) and cmp in out.items
+
+    def test_null_test_collapses(self):
+        assert translate_certain(NullTest(Attr("A"), True)) == FalseCond()
+        assert translate_certain(NullTest(Attr("A"), False)) == TrueCond()
+
+    def test_negation_is_pushed_first(self):
+        out = translate_certain(Not(eq("A", "B")))
+        assert out == translate_certain(neq("A", "B"))
+
+
+class TestStarStarForms:
+    def test_equality_gains_null_escapes(self):
+        out = translate_possible(eq("A", "B"))
+        assert out == Or(
+            eq("A", "B"),
+            NullTest(Attr("A"), True),
+            NullTest(Attr("B"), True),
+        )
+
+    def test_disequality_unchanged_in_theory(self):
+        assert translate_possible(neq("A", "B")) == neq("A", "B")
+
+    def test_disequality_escaped_when_sql_adjusted(self):
+        out = translate_possible(neq("A", "B"), sql_adjusted=True)
+        assert out == Or(
+            neq("A", "B"),
+            NullTest(Attr("A"), True),
+            NullTest(Attr("B"), True),
+        )
+
+    def test_like_gains_escape(self):
+        cmp = Comparison("like", Attr("A"), Const("%red%"))
+        out = translate_possible(cmp)
+        assert out == Or(cmp, NullTest(Attr("A"), True))
+
+    def test_null_test_collapses(self):
+        assert translate_possible(NullTest(Attr("A"), True)) == FalseCond()
+        assert translate_possible(NullTest(Attr("A"), False)) == TrueCond()
+
+    def test_structure_is_homomorphic(self):
+        cond = And(eq("A", 1), Or(neq("B", 2), eq("A", "B")))
+        out = translate_possible(cond)
+        assert isinstance(out, And)
+
+
+# ---------------------------------------------------------------------------
+# Semantic soundness by enumeration
+# ---------------------------------------------------------------------------
+
+N1, N2 = Null("n1"), Null("n2")
+CELLS = [1, 2, N1, N2]
+DOMAIN = [1, 2, 3]
+
+
+def _valuations(row):
+    nulls = sorted({v for v in row.values() if is_null(v)}, key=lambda n: repr(n))
+    for combo in itertools.product(DOMAIN, repeat=len(nulls)):
+        mapping = dict(zip(nulls, combo))
+        yield {k: (mapping[v] if is_null(v) else v) for k, v in row.items()}
+
+
+@st.composite
+def flat_conditions(draw):
+    atoms = []
+    for _ in range(draw(st.integers(1, 3))):
+        op = draw(st.sampled_from(["=", "<>", "<", ">="]))
+        left = Attr(draw(st.sampled_from(["A", "B"])))
+        right = draw(st.sampled_from([Attr("A"), Attr("B"), Const(1), Const(2)]))
+        atoms.append(Comparison(op, left, right))
+    if draw(st.booleans()):
+        return And(*atoms)
+    return Or(*atoms)
+
+
+rows = st.fixed_dictionaries(
+    {"A": st.sampled_from(CELLS), "B": st.sampled_from(CELLS)}
+)
+
+
+@given(cond=flat_conditions(), row=rows)
+def test_star_implies_all_valuations(cond, row):
+    for sql_adjusted in (False, True):
+        star = translate_certain(cond, sql_adjusted)
+        holds = (
+            bool(eval_3vl(star, row)) if sql_adjusted else eval_naive(star, row)
+        )
+        if holds:
+            assert all(eval_naive(cond, world) for world in _valuations(row))
+
+
+@given(cond=flat_conditions(), row=rows)
+def test_some_valuation_implies_star_star(cond, row):
+    for sql_adjusted in (False, True):
+        star2 = translate_possible(cond, sql_adjusted)
+        possible = any(eval_naive(cond, world) for world in _valuations(row))
+        if possible:
+            if sql_adjusted:
+                assert bool(eval_3vl(star2, row))
+            else:
+                assert eval_naive(star2, row)
+
+
+@given(cond=flat_conditions(), row=st.fixed_dictionaries(
+    {"A": st.sampled_from([1, 2]), "B": st.sampled_from([1, 2])}
+))
+def test_translations_are_identity_on_complete_rows(cond, row):
+    for sql_adjusted in (False, True):
+        assert eval_naive(translate_certain(cond, sql_adjusted), row) == eval_naive(cond, row)
+        assert eval_naive(translate_possible(cond, sql_adjusted), row) == eval_naive(cond, row)

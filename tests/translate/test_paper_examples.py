@@ -1,0 +1,132 @@
+"""Every worked example in the paper, as a regression test."""
+
+from repro.algebra import (
+    Difference,
+    Intersection,
+    Product,
+    Projection,
+    RelationRef,
+    Rename,
+    Selection,
+    eq,
+    evaluate,
+)
+from repro.certain import certain_answers_with_nulls
+from repro.data import Database, Null, Relation
+from repro.translate import translate_improved
+
+
+class TestIntroductionExample:
+    """R = {1}, S = {NULL}: SQL says {1}, certain answers say ∅."""
+
+    def query(self):
+        return Difference(RelationRef("R"), Rename(RelationRef("S"), {}))
+
+    def test_sql_returns_false_positive(self, intro_db):
+        q = Difference(RelationRef("R"), RelationRef("S"))
+        assert evaluate(q, intro_db, semantics="sql").rows == [(1,)]
+
+    def test_certain_answers_empty(self, intro_db):
+        q = Difference(RelationRef("R"), RelationRef("S"))
+        assert certain_answers_with_nulls(q, intro_db).rows == []
+
+    def test_q_plus_returns_nothing(self, intro_db):
+        q = Difference(RelationRef("R"), RelationRef("S"))
+        plus, _ = translate_improved(q)
+        assert evaluate(plus, intro_db, semantics="naive").rows == []
+
+    def test_interpretation_as_one_falsifies(self, intro_db):
+        """If the null is interpreted as 1, R − S is empty."""
+        from repro.data.valuation import Valuation
+
+        (the_null,) = intro_db.nulls()
+        world = Valuation({the_null: 1}).apply_database(intro_db)
+        q = Difference(RelationRef("R"), RelationRef("S"))
+        assert evaluate(q, world).rows == []
+
+
+class TestSection6D1:
+    """D1: Q+ misses a certain answer that SQL evaluation returns."""
+
+    def setup_method(self):
+        self.n1, self.n2 = Null(), Null()
+        self.db = Database(
+            {
+                "R": Relation(("A", "B"), [(1, 2), (2, self.n1)]),
+                "S": Relation(("A", "B"), [(1, 2), (self.n2, 2)]),
+                "T": Relation(("A", "B"), [(1, 2)]),
+            }
+        )
+        self.query = Difference(
+            RelationRef("R"), Intersection(RelationRef("S"), RelationRef("T"))
+        )
+
+    def test_sql_returns_the_certain_tuple(self):
+        sql = evaluate(self.query, self.db, semantics="sql")
+        assert (2, self.n1) in sql.rows
+
+    def test_tuple_is_certain(self):
+        cert = certain_answers_with_nulls(self.query, self.db)
+        assert (2, self.n1) in cert.rows
+
+    def test_q_plus_misses_it(self):
+        plus, _ = translate_improved(self.query)
+        got = evaluate(plus, self.db, semantics="naive")
+        assert got.rows == []
+
+
+class TestSection6D2:
+    """D2: Q+ proves certain a tuple SQL evaluation cannot return."""
+
+    def setup_method(self):
+        self.n = Null("same")
+        self.db = Database({"R": Relation(("A", "B"), [(self.n, self.n)])})
+        self.query = Selection(RelationRef("R"), eq("A", "B"))
+
+    def test_sql_returns_nothing(self):
+        assert evaluate(self.query, self.db, semantics="sql").rows == []
+
+    def test_q_plus_returns_the_tuple(self):
+        plus, _ = translate_improved(self.query)  # marked-null translation
+        got = evaluate(plus, self.db, semantics="naive")
+        assert got.rows == [(self.n, self.n)]
+
+    def test_tuple_is_indeed_certain(self):
+        cert = certain_answers_with_nulls(self.query, self.db)
+        assert (self.n, self.n) in cert.rows
+
+    def test_sql_adjusted_translation_stays_sound_but_incomplete(self):
+        plus, _ = translate_improved(self.query, sql_adjusted=True)
+        got = evaluate(plus, self.db, semantics="sql")
+        assert got.rows == []  # SQL nulls cannot see the equality
+
+
+class TestSection7SelfJoin:
+    """SELECT R1.A FROM R R1, R R2 WHERE R1.A = R2.A on R = {NULL}."""
+
+    def setup_method(self):
+        self.n = Null()
+        self.db = Database({"R": Relation(("A",), [(self.n,)])})
+        self.query = Projection(
+            Selection(
+                Product(RelationRef("R"), Rename(RelationRef("R"), {"A": "A2"})),
+                eq("A", "A2"),
+            ),
+            ("A",),
+        )
+
+    def test_codd_evaluation_keeps_the_null(self):
+        assert evaluate(self.query, self.db, semantics="naive").rows == [(self.n,)]
+
+    def test_sql_evaluation_loses_it(self):
+        assert evaluate(self.query, self.db, semantics="sql").rows == []
+
+
+class TestSection2CertainWithNulls:
+    """R = {(1,⊥), (2,3)}: certain answers with nulls keep both tuples."""
+
+    def test_both_tuples_certain(self):
+        n = Null()
+        db = Database({"R": Relation(("A", "B"), [(1, n), (2, 3)])})
+        cert = certain_answers_with_nulls(RelationRef("R"), db)
+        assert set(cert.rows) == {(1, n), (2, 3)}

@@ -1,0 +1,136 @@
+"""Post-translation simplification: Boolean cleanup and the key rule."""
+
+import pytest
+
+from repro.algebra import (
+    Difference,
+    Intersection,
+    Product,
+    Projection,
+    RelationRef,
+    Rename,
+    Selection,
+    Union,
+    UnifAntiJoin,
+    eq,
+    evaluate,
+    neq,
+)
+from repro.algebra.conditions import And, FalseCond, Not, Or, TrueCond
+from repro.data import Database, Null, Relation
+from repro.data.schema import DatabaseSchema, make_schema
+from repro.translate.simplify import (
+    key_antijoin_to_difference,
+    simplify,
+    simplify_condition,
+)
+
+R = RelationRef("R")
+S = RelationRef("S")
+
+
+@pytest.fixture
+def keyed_schema():
+    schema = DatabaseSchema()
+    schema.add(make_schema("R", [("A", "int"), ("B", "int")], key=["A"]))
+    schema.add(make_schema("NoKey", [("A", "int"), ("B", "int")]))
+    return schema
+
+
+class TestConditionCleanup:
+    def test_drop_true_from_and(self):
+        assert simplify_condition(And(eq("A", 1), TrueCond())) == eq("A", 1)
+
+    def test_false_collapses_and(self):
+        assert simplify_condition(And(eq("A", 1), FalseCond())) == FalseCond()
+
+    def test_drop_false_from_or(self):
+        assert simplify_condition(Or(eq("A", 1), FalseCond())) == eq("A", 1)
+
+    def test_true_collapses_or(self):
+        assert simplify_condition(Or(eq("A", 1), TrueCond())) == TrueCond()
+
+    def test_deduplication(self):
+        cond = Or(eq("A", 1), eq("A", 1), eq("B", 2))
+        assert simplify_condition(cond) == Or(eq("A", 1), eq("B", 2))
+
+    def test_empty_and_is_true(self):
+        assert simplify_condition(And(TrueCond(), TrueCond())) == TrueCond()
+
+    def test_not_is_pushed(self):
+        assert simplify_condition(Not(eq("A", 1))) == neq("A", 1)
+
+
+class TestKeyRule:
+    def test_applies_to_selection_subset(self, keyed_schema):
+        expr = UnifAntiJoin(R, Selection(R, eq("A", 1)))
+        out = key_antijoin_to_difference(expr, keyed_schema)
+        assert isinstance(out, Difference)
+
+    def test_applies_to_projection_of_join(self, keyed_schema):
+        # π_{A,B}(σθ(S' × R)) ⊆ R — the Q3 pattern.
+        inner = Projection(
+            Selection(Product(Rename(S, {"A": "X", "B": "Y"}), R), eq("X", "A")),
+            ("A", "B"),
+        )
+        expr = UnifAntiJoin(R, inner)
+        out = key_antijoin_to_difference(expr, keyed_schema)
+        assert isinstance(out, Difference)
+
+    def test_requires_key(self, keyed_schema):
+        expr = UnifAntiJoin(
+            RelationRef("NoKey"), Selection(RelationRef("NoKey"), eq("A", 1))
+        )
+        assert key_antijoin_to_difference(expr, keyed_schema) is None
+
+    def test_requires_containment(self, keyed_schema):
+        expr = UnifAntiJoin(R, Rename(S, {}))
+        assert key_antijoin_to_difference(expr, keyed_schema) is None
+
+    def test_projection_onto_other_attributes_not_contained(self, keyed_schema):
+        inner = Projection(Product(R, Rename(S, {"A": "X", "B": "Y"})), ("X", "Y"))
+        expr = UnifAntiJoin(R, inner)
+        assert key_antijoin_to_difference(expr, keyed_schema) is None
+
+    def test_union_requires_both_sides(self, keyed_schema):
+        contained = Selection(R, eq("A", 1))
+        foreign = Rename(S, {})
+        assert (
+            key_antijoin_to_difference(UnifAntiJoin(R, Union(contained, foreign)), keyed_schema)
+            is None
+        )
+        out = key_antijoin_to_difference(
+            UnifAntiJoin(R, Union(contained, Selection(R, eq("A", 2)))), keyed_schema
+        )
+        assert isinstance(out, Difference)
+
+    def test_semantics_preserved(self, keyed_schema):
+        """R ▷⇑ S = R − S under the key rule's side conditions."""
+        n = Null()
+        db = Database(
+            {
+                "R": Relation(("A", "B"), [(1, 2), (2, n), (3, 4)]),
+                "S": Relation(("A", "B"), []),
+            }
+        )
+        subset = Selection(R, eq("A", 1))
+        anti = UnifAntiJoin(R, subset)
+        diff = key_antijoin_to_difference(anti, keyed_schema)
+        assert evaluate(anti, db) == evaluate(diff, db)
+
+
+class TestWholeExpressionSimplify:
+    def test_selection_with_true_condition_removed(self, keyed_schema):
+        expr = Selection(R, And(TrueCond(), TrueCond()))
+        assert simplify(expr, keyed_schema) == R
+
+    def test_key_rule_applied_recursively(self, keyed_schema):
+        expr = Projection(
+            UnifAntiJoin(R, Selection(R, And(eq("A", 1), TrueCond()))), ("A",)
+        )
+        out = simplify(expr, keyed_schema)
+        assert isinstance(out.child, Difference)
+
+    def test_intersection_untouched(self, keyed_schema):
+        expr = Intersection(R, R)
+        assert simplify(expr, keyed_schema) == expr
