@@ -1,0 +1,1 @@
+"""Benchmark package (unique module names for pytest collection)."""

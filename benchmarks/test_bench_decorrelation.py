@@ -1,0 +1,78 @@
+"""Benchmark B4 — what probe decorrelation buys on the rewritten queries.
+
+The certain-answer rewritings ``Q+`` are exactly the workloads that
+multiply correlated ``NOT EXISTS`` probes (one per nullable attribute
+in scope).  This bench runs each rewritten TPC-H query with the
+engine's probe optimisations on and off and asserts the optimised run
+examines strictly fewer rows — the ISSUE's acceptance criterion — and
+is no slower in wall clock.
+"""
+
+import time
+
+import pytest
+
+from repro.engine.executor import Executor
+from repro.sql.parser import parse_sql
+from repro.sql.rewrite import rewrite_certain
+from repro.tpch.queries import QUERIES
+
+
+@pytest.fixture(scope="module")
+def rewritten(schema):
+    return {
+        qid: rewrite_certain(parse_sql(QUERIES[qid][0]), schema)
+        for qid in ("Q1", "Q2", "Q3", "Q4")
+    }
+
+
+def run_with_flags(db, query, params, **flags):
+    executor = Executor(db, params, **flags)
+    start = time.perf_counter()
+    result = executor.execute(query)
+    elapsed = time.perf_counter() - start
+    return result, executor.ctx, elapsed
+
+
+class TestDecorrelationOnRewrites:
+    # Q1+/Q2+ short-circuit at the whole-query level before touching any
+    # correlated probe (1 row examined either way), so only "no worse"
+    # is meaningful there; Q3+/Q4+ exercise the probes and must improve.
+    @pytest.mark.parametrize(
+        "qid,strict",
+        [("Q1", False), ("Q2", False), ("Q3", True), ("Q4", True)],
+    )
+    def test_optimised_examines_strictly_fewer_rows(
+        self, benchmark, qid, strict, perf_db, perf_params, rewritten
+    ):
+        benchmark.group = f"decorrelation-{qid}"
+
+        def run():
+            fast = run_with_flags(perf_db, rewritten[qid], perf_params[qid])
+            slow = run_with_flags(
+                perf_db, rewritten[qid], perf_params[qid],
+                memoize_probes=False, decorrelate=False,
+            )
+            return fast, slow
+
+        (fast_result, fast_ctx, fast_t), (slow_result, slow_ctx, slow_t) = (
+            benchmark.pedantic(run, rounds=1, iterations=1)
+        )
+        print(
+            f"\n  {qid}+ rows examined: optimised={fast_ctx.rows_examined}"
+            f" (+{fast_ctx.probe_build_rows} build)"
+            f" naive={slow_ctx.rows_examined};"
+            f" wall {fast_t * 1000:.1f} ms vs {slow_t * 1000:.1f} ms"
+        )
+        assert fast_result.attributes == slow_result.attributes
+        assert fast_result.rows == slow_result.rows
+        if strict:
+            assert fast_ctx.rows_examined < slow_ctx.rows_examined
+        else:
+            assert fast_ctx.rows_examined <= slow_ctx.rows_examined
+        # Amortised probing must not cost wall clock overall.  The
+        # short-circuit queries finish in microseconds where the timer
+        # is pure noise, so the bound only applies to the probe-heavy
+        # ones (generously, to absorb scheduler jitter).
+        if strict:
+            assert fast_t < slow_t * 1.5

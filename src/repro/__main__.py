@@ -31,14 +31,14 @@ def _cmd_figure1(args) -> int:
 def _cmd_figure4(args) -> int:
     from repro.experiments import performance
 
-    performance.main()
+    performance.main(workers=args.workers)
     return 0
 
 
 def _cmd_table1(args) -> int:
     from repro.experiments import scaling
 
-    scaling.main()
+    scaling.main(workers=args.workers)
     return 0
 
 
@@ -114,6 +114,14 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="use settings close to the paper's (much slower)",
         )
+        if name in ("figure4", "table1"):
+            p.add_argument(
+                "--workers",
+                type=int,
+                default=None,
+                help="parallelise instances over a process pool "
+                "(default: serial, deterministic)",
+            )
         p.set_defaults(handler=handler)
 
     p = sub.add_parser("rewrite", help="rewrite SQL into its certain-answer Q+")

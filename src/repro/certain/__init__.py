@@ -1,6 +1,7 @@
 """Ground-truth certain answers and evaluation-quality metrics."""
 
 from repro.certain.bruteforce import (
+    SearchStats,
     certain_answers_with_nulls,
     certain_answers,
     possible_answer_union,
@@ -21,4 +22,5 @@ __all__ = [
     "recall",
     "AnswerComparison",
     "compare_answers",
+    "SearchStats",
 ]

@@ -14,7 +14,8 @@ The classical null-free certain answers are the null-free tuples of
 from __future__ import annotations
 
 import itertools
-from typing import Iterable, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.algebra.evaluate import evaluate
 from repro.algebra.expr import Expr
@@ -30,9 +31,33 @@ __all__ = [
     "represents_potential_answers",
     "false_positives",
     "false_negatives",
+    "SearchStats",
+    "LAST_SEARCH",
 ]
 
 Row = Tuple[object, ...]
+
+
+@dataclass
+class SearchStats:
+    """Instrumentation of the last :func:`certain_answers_with_nulls` call.
+
+    ``exhaustive_candidates`` is what the unpruned enumeration would have
+    considered (``|adom|**arity``); ``candidates_considered`` is what the
+    search actually examined; ``world_checks`` counts candidate-vs-world
+    membership tests (each candidate short-circuits at its first
+    rejecting world).
+    """
+
+    arity: int = 0
+    pruned: bool = True
+    exhaustive_candidates: int = 0
+    candidates_considered: int = 0
+    world_checks: int = 0
+
+
+#: Stats of the most recent search (rebound, not mutated, per call).
+LAST_SEARCH = SearchStats()
 
 
 def _candidate_tuples(db: Database, arity: int, extra: Iterable[Row] = ()) -> Set[Row]:
@@ -49,11 +74,38 @@ def _candidate_tuples(db: Database, arity: int, extra: Iterable[Row] = ()) -> Se
     return candidates
 
 
+def _seed_candidates(
+    db: Database, first_world: Tuple[Valuation, Set[Row]]
+) -> Set[Row]:
+    """Candidates over ``adom(D)`` whose image lies in the first world's
+    answers — the only tuples that can possibly be certain.
+
+    For the first valuation ``v`` the certain answers satisfy
+    ``v(ā) ∈ Q(v(D))``, so instead of enumerating ``adom^arity`` we take
+    the preimage of the first world's answer set under ``v``: at each
+    position of an answer row the candidate may hold any domain element
+    mapping to that constant (the constant itself if it is in the
+    domain, plus every null ``v`` sends there).
+    """
+    v, rows = first_world
+    preimage: Dict[object, List[object]] = {}
+    for x in sorted(db.active_domain(), key=repr):
+        preimage.setdefault(v(x), []).append(x)
+    candidates: Set[Row] = set()
+    for row in rows:
+        pools = [preimage.get(value) for value in row]
+        if any(pool is None for pool in pools):
+            continue  # some output constant is outside adom's image
+        candidates.update(itertools.product(*pools))
+    return candidates
+
+
 def certain_answers_with_nulls(
     query: Expr,
     db: Database,
     attributes: Optional[Tuple[str, ...]] = None,
     extra_constants: Optional[int] = None,
+    prune: bool = True,
 ) -> Relation:
     """``cert(Q, D)`` by explicit valuation enumeration.
 
@@ -61,7 +113,15 @@ def certain_answers_with_nulls(
     ``v`` into ``Const(D)`` plus fresh constants, check
     ``v(ā) ∈ Q(v(D))``.  The default number of fresh constants (one per
     null) is sufficient for first-order queries by genericity.
+
+    With ``prune=True`` (the default) the candidate set is seeded from
+    the first world's answers instead of all of ``adom^arity``, and each
+    candidate is abandoned at the first world that rejects it; the
+    result is provably identical to the exhaustive search
+    (``prune=False``), which is kept for cross-checking.  Search effort
+    is reported in :data:`LAST_SEARCH`.
     """
+    global LAST_SEARCH
     valuations = list(enumerate_valuations(db, extra_constants=extra_constants))
     # Evaluate the query on every possible world once.
     worlds: List[Tuple[Valuation, Set[Row]]] = []
@@ -75,11 +135,30 @@ def certain_answers_with_nulls(
     if result_attrs is None:  # pragma: no cover - no valuations is impossible
         raise RuntimeError("no valuations produced")
     arity = len(result_attrs)
-    certain = [
-        candidate
-        for candidate in sorted(_candidate_tuples(db, arity), key=repr)
-        if all(v.apply_row(candidate) in rows for v, rows in worlds)
-    ]
+    stats = SearchStats(
+        arity=arity,
+        pruned=prune,
+        exhaustive_candidates=len(db.active_domain()) ** arity,
+    )
+    if prune:
+        # Seeding already enforces membership in the first world.
+        candidates = sorted(_seed_candidates(db, worlds[0]), key=repr)
+        remaining = worlds[1:]
+    else:
+        candidates = sorted(_candidate_tuples(db, arity), key=repr)
+        remaining = worlds
+    stats.candidates_considered = len(candidates)
+    certain = []
+    for candidate in candidates:
+        accepted = True
+        for v, rows in remaining:
+            stats.world_checks += 1
+            if v.apply_row(candidate) not in rows:
+                accepted = False
+                break
+        if accepted:
+            certain.append(candidate)
+    LAST_SEARCH = stats
     return Relation(result_attrs, certain)
 
 

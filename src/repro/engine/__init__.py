@@ -19,7 +19,22 @@ Use :func:`execute_sql` for text or parsed queries, and
 estimates" of Section 7 are visible there for the unsplit ``Q+4``).
 """
 
-from repro.engine.executor import execute_sql, execute_query, Executor
+from repro.engine.executor import (
+    Executor,
+    PreparedQuery,
+    clear_plan_cache,
+    execute_query,
+    execute_sql,
+    plan_cache_stats,
+)
 from repro.engine.explain import explain_sql
 
-__all__ = ["execute_sql", "execute_query", "Executor", "explain_sql"]
+__all__ = [
+    "execute_sql",
+    "execute_query",
+    "Executor",
+    "PreparedQuery",
+    "explain_sql",
+    "plan_cache_stats",
+    "clear_plan_cache",
+]

@@ -43,6 +43,8 @@ class ExecContext:
         db,
         params: Optional[Dict[str, object]] = None,
         marked_nulls: bool = False,
+        memoize_probes: bool = True,
+        decorrelate: bool = True,
     ):
         self.db = db
         self.params = dict(params or {})
@@ -51,8 +53,21 @@ class ExecContext:
         #: between two occurrences of the *same* null is TRUE instead of
         #: unknown (and disequality FALSE).  Everything else keeps 3VL.
         self.marked_nulls = marked_nulls
+        #: memoize correlated subquery probes on their correlation values
+        self.memoize_probes = memoize_probes
+        #: decorrelate pure equi-correlated subqueries into hash tables
+        self.decorrelate = decorrelate
         #: instrumentation: rows produced by join steps (see explain/tests)
         self.rows_examined = 0
+        #: probe-memo cache instrumentation (correlated subqueries)
+        self.probe_cache_hits = 0
+        self.probe_cache_misses = 0
+        #: hash semi-/anti-join decorrelation instrumentation
+        self.decorrelated_probes = 0
+        self.probe_tables_built = 0
+        #: rows consumed building decorrelated probe tables; kept out of
+        #: ``rows_examined`` the same way hash-index builds are
+        self.probe_build_rows = 0
 
     def relation(self, name: str):
         if name in self.ctes:
@@ -301,10 +316,26 @@ class _BoolConst(_Cond):
         return self.value
 
 
-class _Exists(_Cond):
-    """``[NOT] EXISTS`` — two-valued; uncorrelated results are cached."""
+_MISSING = object()
 
-    __slots__ = ("block", "negated", "needed", "local_keys", "has_outer", "_cache")
+
+class _Exists(_Cond):
+    """``[NOT] EXISTS`` — two-valued; uncorrelated results are cached.
+
+    Correlated probes are amortised two ways (Section 7's engine story):
+
+    * when the correlation is purely equality against plain outer
+      columns, the subquery is *decorrelated*: one pass over the inner
+      block groups its rows by the correlated key and every outer row
+      becomes a hash semi-/anti-join lookup;
+    * otherwise probe results are memoized on the tuple of correlated
+      values, so repeated outer keys re-execute nothing.
+    """
+
+    __slots__ = (
+        "block", "negated", "needed", "local_keys", "has_outer",
+        "_cache", "decor", "_table", "_memo", "_memo_keys",
+    )
 
     def __init__(self, block: "CompiledBlock", negated: bool, parent_scope: CompileScope):
         self.block = block
@@ -315,17 +346,70 @@ class _Exists(_Cond):
         self.local_keys = frozenset(self.needed)
         self.has_outer = any(res.scope is not parent_scope for res in block.external)
         self._cache: Optional[ThreeValued] = None
+        self.decor = _pure_probe_plan(block, parent_scope) if block.ctx.decorrelate else None
+        self._table: Optional[Set[Tuple]] = None
+        self._memo: Dict[Tuple, ThreeValued] = {}
+        self._memo_keys = tuple(dict.fromkeys(res.key for res in block.external))
 
     def eval(self, cursor, env) -> ThreeValued:
         if not self.block.external:
             if self._cache is None:
                 self._cache = self._probe({})
             return self._cache
-        env2 = dict(env)
+        ctx = self.block.ctx
         slotmap, row = cursor
+        if self.decor is not None:
+            if self._table is None:
+                self._build_table()
+            if self._table is not None:
+                probe = tuple(row[slotmap[key]] for _local, key in self.decor)
+                ctx.decorrelated_probes += 1
+                if not ctx.marked_nulls and any(is_null(v) for v in probe):
+                    found = False  # a null key never compares TRUE
+                else:
+                    found = probe in self._table
+                return from_bool(found != self.negated)
+        env2 = dict(env)
         for key in self.needed:
             env2[key] = row[slotmap[key]]
-        return self._probe(env2)
+        if not ctx.memoize_probes:
+            return self._probe(env2)
+        try:
+            memo_key = tuple(env2[k] for k in self._memo_keys)
+            cached = self._memo.get(memo_key, _MISSING)
+        except (KeyError, TypeError):  # unresolvable or unhashable key
+            return self._probe(env2)
+        if cached is not _MISSING:
+            ctx.probe_cache_hits += 1
+            return cached
+        ctx.probe_cache_misses += 1
+        result = self._probe(env2)
+        self._memo[memo_key] = result
+        return result
+
+    def _build_table(self) -> None:
+        """One-pass hash semi-join build: inner keys that have witnesses."""
+        block = self.block
+        if block._order is not None:
+            # The block was already planned with its probes baked in
+            # (someone iterated it directly); fall back to memoization.
+            self.decor = None
+            return
+        ctx = block.ctx
+        block.probes = [(k, e) for k, e in block.probes if not e.has_outer]
+        locals_ = tuple(local for local, _key in self.decor)
+        marked = ctx.marked_nulls
+        before = ctx.rows_examined
+        table: Set[Tuple] = set()
+        for slotmap, row in block.iterate({}):
+            key = tuple(row[slotmap[local]] for local in locals_)
+            if not marked and any(is_null(v) for v in key):
+                continue
+            table.add(key)
+        ctx.probe_build_rows += ctx.rows_examined - before
+        ctx.rows_examined = before
+        ctx.probe_tables_built += 1
+        self._table = table
 
     def _probe(self, env) -> ThreeValued:
         found = False
@@ -362,9 +446,13 @@ class _InValues(_Cond):
 
 
 class _InSubquery(_Cond):
+    """``x [NOT] IN (SELECT …)`` with the same probe amortisation as
+    :class:`_Exists`: hash decorrelation for pure equi-correlation and
+    memoized value lists otherwise."""
+
     __slots__ = (
         "expr", "block", "out", "negated", "needed", "local_keys", "has_outer",
-        "marked", "_cache",
+        "marked", "_cache", "decor", "_table", "_memo", "_memo_keys",
     )
 
     def __init__(
@@ -388,6 +476,12 @@ class _InSubquery(_Cond):
         )
         self.marked = block.ctx.marked_nulls
         self._cache: Optional[List[object]] = None
+        self.decor = None
+        if block.ctx.decorrelate and not out.has_outer:
+            self.decor = _pure_probe_plan(block, parent_scope)
+        self._table: Optional[Dict[Tuple, List[object]]] = None
+        self._memo: Dict[Tuple, List[object]] = {}
+        self._memo_keys = tuple(dict.fromkeys(res.key for res in block.external))
 
     def _values(self, env) -> List[object]:
         return [self.out.eval(cursor, env) for cursor in self.block.iterate(env)]
@@ -399,13 +493,62 @@ class _InSubquery(_Cond):
                 self._cache = self._values({})
             values = self._cache
         else:
-            env2 = dict(env)
-            slotmap, row = cursor
-            for key in self.needed:
-                env2[key] = row[slotmap[key]]
-            values = self._values(env2)
+            values = self._correlated_values(cursor, env)
         result = _membership(x, values, self.marked)
         return ~result if self.negated else result
+
+    def _correlated_values(self, cursor, env) -> Sequence[object]:
+        ctx = self.block.ctx
+        slotmap, row = cursor
+        if self.decor is not None:
+            if self._table is None:
+                self._build_table()
+            if self._table is not None:
+                probe = tuple(row[slotmap[key]] for _local, key in self.decor)
+                ctx.decorrelated_probes += 1
+                if not ctx.marked_nulls and any(is_null(v) for v in probe):
+                    return ()  # a null key never compares TRUE
+                return self._table.get(probe, ())
+        env2 = dict(env)
+        for key in self.needed:
+            env2[key] = row[slotmap[key]]
+        if not ctx.memoize_probes:
+            return self._values(env2)
+        try:
+            memo_key = tuple(env2[k] for k in self._memo_keys)
+            cached = self._memo.get(memo_key, _MISSING)
+        except (KeyError, TypeError):  # unresolvable or unhashable key
+            return self._values(env2)
+        if cached is not _MISSING:
+            ctx.probe_cache_hits += 1
+            return cached
+        ctx.probe_cache_misses += 1
+        values = self._values(env2)
+        self._memo[memo_key] = values
+        return values
+
+    def _build_table(self) -> None:
+        """One-pass build: inner output values grouped by correlated key."""
+        block = self.block
+        if block._order is not None:
+            self.decor = None
+            return
+        ctx = block.ctx
+        block.probes = [(k, e) for k, e in block.probes if not e.has_outer]
+        locals_ = tuple(local for local, _key in self.decor)
+        marked = ctx.marked_nulls
+        before = ctx.rows_examined
+        table: Dict[Tuple, List[object]] = {}
+        for sub_cursor in block.iterate({}):
+            sub_slotmap, sub_row = sub_cursor
+            key = tuple(sub_row[sub_slotmap[local]] for local in locals_)
+            if not marked and any(is_null(v) for v in key):
+                continue
+            table.setdefault(key, []).append(self.out.eval(sub_cursor, {}))
+        ctx.probe_build_rows += ctx.rows_examined - before
+        ctx.rows_examined = before
+        ctx.probe_tables_built += 1
+        self._table = table
 
 
 def _membership(x, values, marked: bool = False) -> ThreeValued:
@@ -821,6 +964,42 @@ class CompiledBlock:
             cursor = (slotmap, row)
             if all(f.eval(cursor, {}) is TRUE for f in source.filters):
                 yield row
+
+
+def _pure_probe_plan(
+    block: "CompiledBlock", parent_scope: CompileScope
+) -> Optional[Tuple[Tuple[Key, Key], ...]]:
+    """``((local key, outer key), …)`` when *block*'s correlation consists
+    purely of equality probes against plain columns of the immediate outer
+    block — the shape ``rewrite_certain`` emits for null checks — else
+    ``None``.
+
+    Eligibility demands that every outer reference is (a) resolved in the
+    immediate parent scope and (b) consumed only by ``local = outer.col``
+    probes: no outer references in residual conditions, non-column probe
+    expressions, or anywhere else.  Under those conditions the subquery's
+    result, as a function of the outer row, depends only on the probed key
+    tuple, so a single pass over the inner block grouped by the local key
+    columns answers every probe.
+    """
+    if not block.external:
+        return None
+    if any(res.scope is not parent_scope for res in block.external):
+        return None
+    pairs: List[Tuple[Key, Key]] = []
+    for local_key, expr in block.probes:
+        if expr.has_outer:
+            if not isinstance(expr, _Col) or expr.depth == 0:
+                return None
+            pairs.append((local_key, expr.key))
+    if not pairs:
+        return None
+    if any(cond.has_outer for cond in block.residuals):
+        return None
+    covered = {outer for _local, outer in pairs}
+    if any(res.key not in covered for res in block.external):
+        return None
+    return tuple(pairs)
 
 
 def _contains_subquery(cond: _Cond) -> bool:

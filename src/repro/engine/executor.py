@@ -1,8 +1,20 @@
-"""Top-level query execution: CTEs, set operations, output projection."""
+"""Top-level query execution: CTEs, set operations, output projection.
+
+Two amortisation layers live here (see ``docs/engine.md``):
+
+* :class:`PreparedQuery` separates compilation from execution, so a
+  statement executed repeatedly (``repeats``/``param_draws`` loops in
+  the experiment harness) compiles its blocks, join orders and hash
+  indexes once and re-streams results on every :meth:`PreparedQuery.run`;
+* a module-level LRU plan cache keyed on SQL text plus the execution
+  flags lets :func:`execute_sql` skip re-parsing repeated statements.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple, Union as TUnion
+from collections import OrderedDict
+from threading import Lock
+from typing import Callable, Dict, List, Optional, Tuple, Union as TUnion
 
 from repro.data.database import Database
 from repro.data.relation import Relation
@@ -11,16 +23,49 @@ from repro.engine.scope import EngineError
 from repro.sql import ast
 from repro.sql.parser import parse_sql
 
-__all__ = ["Executor", "execute_sql", "execute_query"]
+__all__ = [
+    "Executor",
+    "PreparedQuery",
+    "execute_sql",
+    "execute_query",
+    "plan_cache_stats",
+    "clear_plan_cache",
+]
+
+
+class PreparedQuery:
+    """A compiled statement bound to one database and parameter set.
+
+    ``run()`` may be called repeatedly; compilation artefacts (CTE
+    materialisations, join orders, hash indexes, subquery probe tables
+    and memo caches) persist across runs, so only the streaming work is
+    repeated.  Instrumentation counters on :attr:`ctx` accumulate over
+    runs.
+    """
+
+    __slots__ = ("executor", "_runner")
+
+    def __init__(self, executor: "Executor", runner: Callable[[], Relation]):
+        self.executor = executor
+        self._runner = runner
+
+    @property
+    def ctx(self) -> ExecContext:
+        return self.executor.ctx
+
+    def run(self) -> Relation:
+        return self._runner()
 
 
 class Executor:
     """Executes parsed queries against a database.
 
-    One executor instance corresponds to one statement execution: CTEs
-    are materialised once, uncorrelated subqueries are cached, and the
-    ``rows_examined`` counter on :attr:`ctx` reports how much work the
-    joins did (used by tests and the ablation benchmarks).
+    One executor instance corresponds to one statement: CTEs are
+    materialised once, uncorrelated subqueries are cached, and the
+    ``rows_examined`` / probe-cache counters on :attr:`ctx` report how
+    much work evaluation did (used by tests and the ablation
+    benchmarks).  :meth:`prepare` compiles without executing and returns
+    a re-runnable :class:`PreparedQuery`.
     """
 
     def __init__(
@@ -28,58 +73,83 @@ class Executor:
         db: Database,
         params: Optional[Dict[str, object]] = None,
         marked_nulls: bool = False,
+        memoize_probes: bool = True,
+        decorrelate: bool = True,
     ):
-        self.ctx = ExecContext(db, params, marked_nulls=marked_nulls)
+        self.ctx = ExecContext(
+            db,
+            params,
+            marked_nulls=marked_nulls,
+            memoize_probes=memoize_probes,
+            decorrelate=decorrelate,
+        )
 
     # ------------------------------------------------------------------
-    def execute(self, query: TUnion[ast.Query, ast.Select, ast.SetOp]) -> Relation:
+    def prepare(self, query: TUnion[ast.Query, ast.Select, ast.SetOp]) -> PreparedQuery:
         query = ast.query_of(query)
         for name, sub in query.ctes:
             if name in self.ctx.ctes:
                 raise EngineError(f"duplicate WITH view {name!r}")
             self.ctx.ctes[name] = self._run_query(sub)
-        return self._run_body(query.body)
+        return PreparedQuery(self, self._plan_body(query.body))
+
+    def execute(self, query: TUnion[ast.Query, ast.Select, ast.SetOp]) -> Relation:
+        return self.prepare(query).run()
 
     # ------------------------------------------------------------------
     def _run_query(self, query: ast.Query) -> Relation:
+        return self._plan_query(query)()
+
+    def _plan_query(self, query: ast.Query) -> Callable[[], Relation]:
         if query.ctes:
             raise EngineError("nested WITH is not supported")
-        return self._run_body(query.body)
+        return self._plan_body(query.body)
 
-    def _run_body(self, body: TUnion[ast.Select, ast.SetOp]) -> Relation:
+    def _plan_body(self, body: TUnion[ast.Select, ast.SetOp]) -> Callable[[], Relation]:
         if isinstance(body, ast.Select):
-            return self._run_select(body)
+            return self._plan_select(body)
         assert isinstance(body, ast.SetOp)
-        left = self._run_query(body.left)
-        right = self._run_query(body.right)
-        if left.arity != right.arity:
-            raise EngineError(
-                f"{body.op.upper()} operands have arity {left.arity} and {right.arity}"
-            )
-        if body.op == "union":
-            rows = list(left.rows) + list(right.rows)
-            if not body.all:
-                rows = list(dict.fromkeys(rows))
-            return Relation(left.attributes, rows)
-        if body.op == "intersect":
-            right_set = set(right.rows)
-            rows = [r for r in dict.fromkeys(left.rows) if r in right_set]
-            return Relation(left.attributes, rows)
-        right_set = set(right.rows)
-        rows = [r for r in dict.fromkeys(left.rows) if r not in right_set]
-        return Relation(left.attributes, rows)
+        left_plan = self._plan_query(body.left)
+        right_plan = self._plan_query(body.right)
+        op, keep_all = body.op, body.all
 
-    # ------------------------------------------------------------------
-    def _run_select(self, select: ast.Select) -> Relation:
+        def run_setop() -> Relation:
+            left = left_plan()
+            right = right_plan()
+            if left.arity != right.arity:
+                raise EngineError(
+                    f"{op.upper()} operands have arity {left.arity} and {right.arity}"
+                )
+            if op == "union":
+                rows = list(left.rows) + list(right.rows)
+                if not keep_all:
+                    rows = list(dict.fromkeys(rows))
+                return Relation(left.attributes, rows)
+            if op == "intersect":
+                right_set = set(right.rows)
+                rows = [r for r in dict.fromkeys(left.rows) if r in right_set]
+                return Relation(left.attributes, rows)
+            right_set = set(right.rows)
+            rows = [r for r in dict.fromkeys(left.rows) if r not in right_set]
+            return Relation(left.attributes, rows)
+
+        return run_setop
+
+    def _plan_select(self, select: ast.Select) -> Callable[[], Relation]:
         block = CompiledBlock(select, self.ctx, parent=None)
         outputs = self._output_plan(select, block)
-        names = [name for name, _getter in outputs]
-        rows = []
-        for cursor in block.iterate({}):
-            rows.append(tuple(getter(cursor) for _name, getter in outputs))
-        if select.distinct:
-            rows = list(dict.fromkeys(rows))
-        return Relation(tuple(names), rows)
+        names = tuple(name for name, _getter in outputs)
+        distinct = select.distinct
+
+        def run_select() -> Relation:
+            rows = []
+            for cursor in block.iterate({}):
+                rows.append(tuple(getter(cursor) for _name, getter in outputs))
+            if distinct:
+                rows = list(dict.fromkeys(rows))
+            return Relation(names, rows)
+
+        return run_select
 
     def _output_plan(self, select: ast.Select, block: CompiledBlock):
         """Compile the SELECT list into (name, getter) pairs."""
@@ -134,18 +204,96 @@ def _expr_getter(expr):
     return getter
 
 
+# ---------------------------------------------------------------------------
+# Plan cache: SQL text + flags → validated AST
+# ---------------------------------------------------------------------------
+
+
+class _PlanCache:
+    """A small thread-safe LRU mapping ``(sql, flags)`` to parsed ASTs.
+
+    Compiled blocks bind parameter values and per-database runtime state,
+    so the artefact cached *across* databases and parameter sets is the
+    validated parse tree; per-statement compiled state is reused through
+    :class:`PreparedQuery` instead.
+    """
+
+    def __init__(self, maxsize: int = 256):
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[Tuple[str, bool], ast.Query]" = OrderedDict()
+        self._lock = Lock()
+
+    def get_or_parse(self, sql: str, marked_nulls: bool) -> ast.Query:
+        key = (sql, marked_nulls)
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return cached
+            self.misses += 1
+        parsed = ast.query_of(parse_sql(sql))
+        with self._lock:
+            self._entries[key] = parsed
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+        return parsed
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+
+PLAN_CACHE = _PlanCache()
+
+
+def plan_cache_stats() -> Dict[str, int]:
+    """Hit/miss/size counters of the shared SQL-text plan cache."""
+    return PLAN_CACHE.stats()
+
+
+def clear_plan_cache() -> None:
+    """Drop all cached plans and reset the counters (test isolation)."""
+    PLAN_CACHE.clear()
+
+
 def execute_query(
     db: Database,
     query: TUnion[ast.Query, ast.Select, ast.SetOp],
     params: Optional[Dict[str, object]] = None,
     marked_nulls: bool = False,
+    memoize_probes: bool = True,
+    decorrelate: bool = True,
 ) -> Relation:
     """Execute a parsed query; returns a :class:`Relation`.
 
     ``marked_nulls=True`` switches equality on the *same* null from
     unknown to true — the Section 8 "marked nulls" evaluation mode.
+    ``memoize_probes``/``decorrelate`` gate the correlated-subquery
+    optimisations (both on by default; disabling them reproduces the
+    naive O(outer × inner) probing, used by the equivalence tests).
     """
-    return Executor(db, params, marked_nulls=marked_nulls).execute(ast.query_of(query))
+    return Executor(
+        db,
+        params,
+        marked_nulls=marked_nulls,
+        memoize_probes=memoize_probes,
+        decorrelate=decorrelate,
+    ).execute(ast.query_of(query))
 
 
 def execute_sql(
@@ -153,8 +301,17 @@ def execute_sql(
     sql: TUnion[str, ast.Query, ast.Select, ast.SetOp],
     params: Optional[Dict[str, object]] = None,
     marked_nulls: bool = False,
+    memoize_probes: bool = True,
+    decorrelate: bool = True,
 ) -> Relation:
-    """Parse (if necessary) and execute SQL against *db*."""
+    """Parse (if necessary, through the plan cache) and execute SQL."""
     if isinstance(sql, str):
-        sql = parse_sql(sql)
-    return execute_query(db, sql, params, marked_nulls=marked_nulls)
+        sql = PLAN_CACHE.get_or_parse(sql, marked_nulls)
+    return execute_query(
+        db,
+        sql,
+        params,
+        marked_nulls=marked_nulls,
+        memoize_probes=memoize_probes,
+        decorrelate=decorrelate,
+    )

@@ -1,0 +1,125 @@
+"""Pruned brute-force certain-answer search vs the exhaustive baseline.
+
+The pruned search seeds candidates from the first possible world's
+answer set (only tuples whose image lies there can be certain) and
+abandons each candidate at its first rejecting world.  These tests pin
+down (a) result identity with the exhaustive enumeration and (b) that
+the pruning actually reduces work, via :data:`LAST_SEARCH`.
+"""
+
+import random
+
+import pytest
+
+from repro.algebra import (
+    Difference,
+    Product,
+    Projection,
+    RelationRef,
+    Rename,
+    Selection,
+    eq,
+)
+from repro.certain import certain_answers_with_nulls
+from repro.certain import bruteforce
+from repro.data import Database, Null, Relation
+
+
+def both_searches(query, db, **kwargs):
+    pruned = certain_answers_with_nulls(query, db, prune=True, **kwargs)
+    pruned_stats = bruteforce.LAST_SEARCH
+    exhaustive = certain_answers_with_nulls(query, db, prune=False, **kwargs)
+    exhaustive_stats = bruteforce.LAST_SEARCH
+    return pruned, pruned_stats, exhaustive, exhaustive_stats
+
+
+class TestEquivalence:
+    def test_difference_query(self, intro_db):
+        q = Difference(RelationRef("R"), RelationRef("S"))
+        pruned, _, exhaustive, _ = both_searches(q, intro_db)
+        assert pruned.attributes == exhaustive.attributes
+        assert pruned.rows == exhaustive.rows
+
+    def test_identity_keeps_null_tuples(self):
+        n = Null()
+        db = Database({"R": Relation(("A", "B"), [(1, n), (2, 3)])})
+        pruned, _, exhaustive, _ = both_searches(RelationRef("R"), db)
+        assert pruned.rows == exhaustive.rows
+        assert set(pruned.rows) == {(1, n), (2, 3)}
+
+    def test_projection_and_selection(self):
+        n = Null()
+        db = Database({"R": Relation(("A", "B"), [(n, 1), (2, 1), (2, n)])})
+        q = Projection(Selection(RelationRef("R"), eq("B", 1)), ("A",))
+        pruned, _, exhaustive, _ = both_searches(q, db)
+        assert pruned.rows == exhaustive.rows
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_instances(self, seed):
+        rng = random.Random(seed)
+
+        def cell():
+            return Null() if rng.random() < 0.3 else rng.choice([1, 2])
+
+        db = Database(
+            {
+                "R": Relation(
+                    ("A", "B"),
+                    [(cell(), cell()) for _ in range(rng.randint(1, 3))],
+                ),
+                "S": Relation(
+                    ("A",), [(cell(),) for _ in range(rng.randint(1, 2))]
+                ),
+            }
+        )
+        queries = [
+            RelationRef("R"),
+            Difference(Projection(RelationRef("R"), ("A",)), RelationRef("S")),
+            Projection(
+                Selection(
+                    Product(RelationRef("R"), Rename(RelationRef("S"), {"A": "X"})),
+                    eq("A", "X"),
+                ),
+                ("B",),
+            ),
+        ]
+        for q in queries:
+            pruned, _, exhaustive, _ = both_searches(q, db)
+            assert pruned.attributes == exhaustive.attributes
+            assert pruned.rows == exhaustive.rows
+
+
+class TestSearchStats:
+    def test_pruning_considers_fewer_candidates(self, intro_db):
+        q = Difference(RelationRef("R"), RelationRef("S"))
+        _, pruned_stats, _, exhaustive_stats = both_searches(q, intro_db)
+        assert pruned_stats.pruned and not exhaustive_stats.pruned
+        assert (
+            pruned_stats.exhaustive_candidates
+            == exhaustive_stats.exhaustive_candidates
+            == exhaustive_stats.candidates_considered
+        )
+        assert (
+            pruned_stats.candidates_considered
+            < pruned_stats.exhaustive_candidates
+        )
+        assert pruned_stats.world_checks < exhaustive_stats.world_checks
+
+    def test_seeding_is_strict_on_wide_arity(self):
+        """Arity-2 output over a 5-element domain: the exhaustive search
+        pays 25 candidates, the seeded one only the first world's rows'
+        preimages."""
+        n = Null()
+        db = Database(
+            {"R": Relation(("A", "B"), [(1, 2), (3, n), (4, 5)])}
+        )
+        _, stats, _, _ = both_searches(RelationRef("R"), db)
+        assert stats.arity == 2
+        assert stats.exhaustive_candidates == len(db.active_domain()) ** 2
+        assert stats.candidates_considered < stats.exhaustive_candidates
+
+    def test_stats_rebound_per_call(self, intro_db):
+        certain_answers_with_nulls(RelationRef("R"), intro_db)
+        first = bruteforce.LAST_SEARCH
+        certain_answers_with_nulls(RelationRef("S"), intro_db)
+        assert bruteforce.LAST_SEARCH is not first

@@ -1,0 +1,234 @@
+"""Correlated-subquery decorrelation and probe memoization.
+
+Regression tests for the engine's two probe-amortisation mechanisms:
+
+* hash semi-/anti-join decorrelation for pure equi-correlated blocks
+  (the shape ``rewrite_certain`` emits for null checks);
+* memoized probing keyed on the correlated values for everything else
+  (e.g. the ``x = outer.y OR x IS NULL`` residual shape).
+
+Every optimised run must return a byte-identical :class:`Relation` to
+the naive O(outer × inner) path, including under ``marked_nulls=True``
+and with NULL-valued correlation keys.
+"""
+
+import random
+
+import pytest
+
+from repro.data import Database, Null, Relation
+from repro.engine import Executor, execute_sql
+from repro.sql.parser import parse_sql
+
+
+def naive(db, sql, params=None, marked_nulls=False):
+    return execute_sql(
+        db, sql, params, marked_nulls=marked_nulls,
+        memoize_probes=False, decorrelate=False,
+    )
+
+
+def optimised(db, sql, params=None, marked_nulls=False):
+    return execute_sql(db, sql, params, marked_nulls=marked_nulls)
+
+
+def run_counted(db, sql, params=None, **flags):
+    executor = Executor(db, params, **flags)
+    result = executor.execute(parse_sql(sql))
+    return result, executor.ctx
+
+
+@pytest.fixture
+def skewed_db():
+    """200 outer rows over only 5 distinct correlation keys, and an inner
+    table whose correlated residual forces a scan per probe."""
+    n = Null()
+    outer = Relation(("k", "tag"), [(i % 5, i) for i in range(200)])
+    inner = Relation(("k", "v"), [(i % 7, i) for i in range(70)] + [(n, -1)])
+    return Database({"outer_t": outer, "inner_t": inner})
+
+
+NOT_EXISTS_PROBE = (
+    "SELECT tag FROM outer_t WHERE NOT EXISTS "
+    "(SELECT * FROM inner_t WHERE inner_t.k = outer_t.k)"
+)
+NOT_EXISTS_RESIDUAL = (
+    "SELECT tag FROM outer_t WHERE NOT EXISTS "
+    "(SELECT * FROM inner_t WHERE inner_t.k = outer_t.k OR inner_t.k IS NULL)"
+)
+
+
+class TestDecorrelation:
+    def test_pure_probe_not_exists_examines_fewer_rows(self, skewed_db):
+        fast, fast_ctx = run_counted(skewed_db, NOT_EXISTS_PROBE)
+        slow, slow_ctx = run_counted(
+            skewed_db, NOT_EXISTS_PROBE, memoize_probes=False, decorrelate=False
+        )
+        assert fast.attributes == slow.attributes
+        assert fast.rows == slow.rows
+        assert fast_ctx.rows_examined < slow_ctx.rows_examined
+        assert fast_ctx.probe_tables_built == 1
+        assert fast_ctx.decorrelated_probes == 200
+        assert fast_ctx.probe_build_rows > 0
+
+    def test_multi_table_inner_block_decorrelates(self):
+        """A join inside the subquery used to re-run once per outer row."""
+        outer = Relation(("k",), [(i % 4, ) for i in range(100)])
+        a = Relation(("k", "x"), [(i % 4, i) for i in range(40)])
+        b = Relation(("x",), [(i, ) for i in range(0, 40, 2)])
+        db = Database({"outer_t": outer, "a": a, "b": b})
+        sql = (
+            "SELECT k FROM outer_t WHERE EXISTS "
+            "(SELECT * FROM a, b WHERE a.k = outer_t.k AND a.x = b.x)"
+        )
+        fast, fast_ctx = run_counted(db, sql)
+        slow, slow_ctx = run_counted(
+            db, sql, memoize_probes=False, decorrelate=False
+        )
+        assert fast.rows == slow.rows
+        assert fast_ctx.rows_examined < slow_ctx.rows_examined
+        assert fast_ctx.probe_tables_built == 1
+
+    def test_residual_correlation_falls_back_to_memo(self, skewed_db):
+        """`OR … IS NULL` correlation cannot hash-decorrelate; the memo
+        cache amortises the 200 probes over the 5 distinct keys."""
+        fast, fast_ctx = run_counted(skewed_db, NOT_EXISTS_RESIDUAL)
+        slow, slow_ctx = run_counted(
+            skewed_db, NOT_EXISTS_RESIDUAL, memoize_probes=False, decorrelate=False
+        )
+        assert fast.attributes == slow.attributes
+        assert fast.rows == slow.rows
+        assert fast_ctx.probe_tables_built == 0
+        assert fast_ctx.probe_cache_misses == 5
+        assert fast_ctx.probe_cache_hits == 195
+        assert fast_ctx.rows_examined < slow_ctx.rows_examined
+
+    def test_in_subquery_decorrelates(self, skewed_db):
+        sql = (
+            "SELECT tag FROM outer_t WHERE tag IN "
+            "(SELECT v FROM inner_t WHERE inner_t.k = outer_t.k)"
+        )
+        fast, fast_ctx = run_counted(skewed_db, sql)
+        slow, _ = run_counted(
+            skewed_db, sql, memoize_probes=False, decorrelate=False
+        )
+        assert fast.rows == slow.rows
+        assert fast_ctx.probe_tables_built == 1
+        assert fast_ctx.decorrelated_probes == 200
+
+    def test_not_in_subquery_memoizes(self, skewed_db):
+        sql = (
+            "SELECT tag FROM outer_t WHERE tag NOT IN "
+            "(SELECT v FROM inner_t WHERE inner_t.k = outer_t.k OR inner_t.v < 0)"
+        )
+        fast, fast_ctx = run_counted(skewed_db, sql)
+        slow, _ = run_counted(
+            skewed_db, sql, memoize_probes=False, decorrelate=False
+        )
+        assert fast.rows == slow.rows
+        assert fast_ctx.probe_cache_hits > 0
+
+    def test_deeper_correlation_not_decorrelated_but_correct(self):
+        """Two-level correlation (grandparent reference) must take the
+        memo path, never the hash-table path."""
+        db = Database(
+            {
+                "r": Relation(("a",), [(1,), (2,), (3,)]),
+                "s": Relation(("a",), [(2,), (3,)]),
+                "t": Relation(("a",), [(3,)]),
+            }
+        )
+        sql = (
+            "SELECT a FROM r WHERE EXISTS (SELECT * FROM s "
+            "WHERE s.a = r.a AND EXISTS (SELECT * FROM t WHERE t.a = r.a))"
+        )
+        fast, fast_ctx = run_counted(db, sql)
+        slow, _ = run_counted(db, sql, memoize_probes=False, decorrelate=False)
+        assert fast.rows == slow.rows == [(3,)]
+
+
+class TestNullKeys:
+    """NULL correlation keys: `=` is UNKNOWN, so probes never match."""
+
+    @pytest.fixture
+    def null_key_db(self):
+        n1, n2 = Null(), Null()
+        return Database(
+            {
+                "r": Relation(("a",), [(1,), (n1,), (3,)]),
+                "s": Relation(("a",), [(1,), (n1,), (n2,)]),
+            }
+        )
+
+    QUERIES = [
+        "SELECT a FROM r WHERE EXISTS (SELECT * FROM s WHERE s.a = r.a)",
+        "SELECT a FROM r WHERE NOT EXISTS (SELECT * FROM s WHERE s.a = r.a)",
+        "SELECT a FROM r WHERE a IN (SELECT a FROM s WHERE s.a = r.a)",
+        "SELECT a FROM r WHERE a NOT IN (SELECT a FROM s WHERE s.a = r.a)",
+    ]
+
+    @pytest.mark.parametrize("sql", QUERIES)
+    @pytest.mark.parametrize("marked", [False, True])
+    def test_equivalence_with_null_keys(self, null_key_db, sql, marked):
+        expected = naive(null_key_db, sql, marked_nulls=marked)
+        actual = optimised(null_key_db, sql, marked_nulls=marked)
+        assert actual.attributes == expected.attributes
+        assert actual.rows == expected.rows
+
+    def test_marked_null_probe_matches_same_null(self, null_key_db):
+        """Under marked-null semantics ⊥1 = ⊥1 is TRUE, so the shared
+        null row must survive the semi-join in both evaluation paths."""
+        sql = self.QUERIES[0]
+        result = optimised(null_key_db, sql, marked_nulls=True)
+        assert naive(null_key_db, sql, marked_nulls=True).rows == result.rows
+        assert len(result.rows) == 2  # (1,) and the shared marked null
+
+
+EQUIVALENCE_CORPUS = [
+    "SELECT a FROM r WHERE EXISTS (SELECT * FROM s WHERE s.a = r.a)",
+    "SELECT a FROM r WHERE NOT EXISTS (SELECT * FROM s WHERE s.a = r.a)",
+    "SELECT a FROM r WHERE NOT EXISTS "
+    "(SELECT * FROM s WHERE s.a = r.a OR s.a IS NULL)",
+    "SELECT a FROM r WHERE a IN (SELECT b FROM s WHERE s.a = r.a)",
+    "SELECT a FROM r WHERE a NOT IN (SELECT b FROM s WHERE s.a = r.a)",
+    "SELECT r.a, r.b FROM r WHERE EXISTS "
+    "(SELECT * FROM s WHERE s.a = r.a AND s.b = r.b)",
+    "SELECT a FROM r WHERE EXISTS "
+    "(SELECT * FROM s WHERE s.a = r.a AND s.b > 1)",
+    "SELECT a FROM r WHERE NOT EXISTS "
+    "(SELECT * FROM s WHERE s.a = r.a AND NOT EXISTS "
+    "(SELECT * FROM t WHERE t.a = s.b))",
+]
+
+
+class TestRandomisedEquivalence:
+    """Optimised evaluation is byte-identical to naive on random
+    incomplete databases, in both null semantics."""
+
+    def random_db(self, rng):
+        def cell():
+            if rng.random() < 0.25:
+                return Null(rng.choice([100, 101, 102]))  # repeatable marks
+            return rng.choice([1, 2, 3])
+
+        def rows(width, count):
+            return [tuple(cell() for _ in range(width)) for _ in range(count)]
+
+        return Database(
+            {
+                "r": Relation(("a", "b"), rows(2, rng.randint(1, 6))),
+                "s": Relation(("a", "b"), rows(2, rng.randint(1, 6))),
+                "t": Relation(("a",), rows(1, rng.randint(1, 4))),
+            }
+        )
+
+    @pytest.mark.parametrize("seed", range(12))
+    @pytest.mark.parametrize("marked", [False, True])
+    def test_corpus(self, seed, marked):
+        rng = random.Random(seed)
+        db = self.random_db(rng)
+        for sql in EQUIVALENCE_CORPUS:
+            expected = naive(db, sql, marked_nulls=marked)
+            actual = optimised(db, sql, marked_nulls=marked)
+            assert actual.attributes == expected.attributes, sql
+            assert actual.rows == expected.rows, sql

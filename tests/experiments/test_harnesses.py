@@ -68,6 +68,56 @@ class TestPriceOfCorrectness:
         assert series["Q4"][0][1] > 1.0
 
 
+class TestParallelHarness:
+    """workers= fans instances out over a process pool; shapes must match."""
+
+    def test_price_of_correctness_parallel_structure(self):
+        series = run_price_of_correctness(
+            null_rates=(0.03,),
+            scale=0.1,
+            instances=2,
+            param_draws=1,
+            repeats=1,
+            seed=1,
+            query_ids=("Q1",),
+            workers=2,
+        )
+        ((x, ratio),) = series["Q1"]
+        assert x == 3.0
+        assert ratio > 0 and not math.isnan(ratio)
+
+    def test_parallel_runs_are_deterministic(self):
+        kwargs = dict(
+            null_rates=(0.03,),
+            scale=0.1,
+            instances=2,
+            param_draws=1,
+            repeats=1,
+            seed=4,
+            query_ids=("Q1",),
+            workers=2,
+        )
+        a = run_price_of_correctness(**kwargs)
+        b = run_price_of_correctness(**kwargs)
+        # Timing ratios jitter, but the structure and the sampled points
+        # (rates, instance seeds → result sizes) are reproducible.
+        assert [x for x, _ in a["Q1"]] == [x for x, _ in b["Q1"]]
+
+    def test_scaling_parallel_structure(self):
+        table = run_scaling_experiment(
+            scales=(1.0,),
+            null_rates=(0.03,),
+            param_draws=1,
+            repeats=1,
+            base_scale=0.1,
+            seed=2,
+            query_ids=("Q1",),
+            workers=2,
+        )
+        (lo, hi) = table["Q1"][1.0]
+        assert 0 < lo <= hi
+
+
 class TestScaling:
     def test_structure(self):
         table = run_scaling_experiment(
