@@ -13,6 +13,20 @@ ad-hoc SQL against the TPC-H schema:
 
 Each experiment accepts ``--paper-scale`` for settings closer to the
 paper's (slower) and a ``--seed``.
+
+``figure4`` and ``table1`` additionally take fault-tolerance flags,
+handled by :mod:`repro.experiments.runner`:
+
+* ``--workers N``      — fan instances out over a process pool;
+* ``--task-timeout S`` — per-instance deadline in seconds (also the
+  crash detector: a worker that dies never delivers its result);
+* ``--retries K``      — re-submit a failed/timed-out instance up to K
+  times with jittered backoff before recording it as failed;
+* ``--checkpoint F``   — JSON file updated after every completed
+  instance; re-running with the same file resumes, skipping completed
+  instances.
+
+Failed instances are reported per point instead of crashing the run.
 """
 
 from __future__ import annotations
@@ -31,14 +45,24 @@ def _cmd_figure1(args) -> int:
 def _cmd_figure4(args) -> int:
     from repro.experiments import performance
 
-    performance.main(workers=args.workers)
+    performance.main(
+        workers=args.workers,
+        task_timeout=args.task_timeout,
+        retries=args.retries,
+        checkpoint=args.checkpoint,
+    )
     return 0
 
 
 def _cmd_table1(args) -> int:
     from repro.experiments import scaling
 
-    scaling.main(workers=args.workers)
+    scaling.main(
+        workers=args.workers,
+        task_timeout=args.task_timeout,
+        retries=args.retries,
+        checkpoint=args.checkpoint,
+    )
     return 0
 
 
@@ -121,6 +145,28 @@ def build_parser() -> argparse.ArgumentParser:
                 default=None,
                 help="parallelise instances over a process pool "
                 "(default: serial, deterministic)",
+            )
+            p.add_argument(
+                "--task-timeout",
+                type=float,
+                default=None,
+                help="per-instance timeout in seconds; a crashed or hung "
+                "worker is detected, retried, and finally recorded as a "
+                "failed instance instead of sinking the run",
+            )
+            p.add_argument(
+                "--retries",
+                type=int,
+                default=1,
+                help="re-submissions per failed instance (jittered backoff)",
+            )
+            p.add_argument(
+                "--checkpoint",
+                metavar="FILE",
+                default=None,
+                help="JSON file updated after each completed instance; "
+                "re-running with the same file resumes, skipping "
+                "instances already measured",
             )
         p.set_defaults(handler=handler)
 

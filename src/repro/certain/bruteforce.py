@@ -14,6 +14,7 @@ The classical null-free certain answers are the null-free tuples of
 from __future__ import annotations
 
 import itertools
+import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
@@ -46,7 +47,9 @@ class SearchStats:
     considered (``|adom|**arity``); ``candidates_considered`` is what the
     search actually examined; ``world_checks`` counts candidate-vs-world
     membership tests (each candidate short-circuits at its first
-    rejecting world).
+    rejecting world).  ``complete`` is ``False`` when a ``deadline=``
+    cut the search short (the result is then a sound subset of
+    ``cert(Q, D)``); ``elapsed`` is the wall-clock time of the call.
     """
 
     arity: int = 0
@@ -54,6 +57,8 @@ class SearchStats:
     exhaustive_candidates: int = 0
     candidates_considered: int = 0
     world_checks: int = 0
+    complete: bool = True
+    elapsed: float = 0.0
 
 
 #: Stats of the most recent search (rebound, not mutated, per call).
@@ -106,6 +111,7 @@ def certain_answers_with_nulls(
     attributes: Optional[Tuple[str, ...]] = None,
     extra_constants: Optional[int] = None,
     prune: bool = True,
+    deadline: Optional[float] = None,
 ) -> Relation:
     """``cert(Q, D)`` by explicit valuation enumeration.
 
@@ -120,13 +126,30 @@ def certain_answers_with_nulls(
     result is provably identical to the exhaustive search
     (``prune=False``), which is kept for cross-checking.  Search effort
     is reported in :data:`LAST_SEARCH`.
+
+    ``deadline`` (seconds) makes the search *anytime*: when the budget
+    runs out, the sound subset of certain answers confirmed so far is
+    returned — a tuple is only ever emitted after surviving **every**
+    world, so partial results contain no false positives (they may miss
+    certain answers).  ``LAST_SEARCH.complete`` records whether the
+    search finished; ``LAST_SEARCH.elapsed`` the time it took.
     """
     global LAST_SEARCH
+    start = time.monotonic()
+    cutoff = None if deadline is None else start + deadline
     valuations = list(enumerate_valuations(db, extra_constants=extra_constants))
     # Evaluate the query on every possible world once.
     worlds: List[Tuple[Valuation, Set[Row]]] = []
     result_attrs: Optional[Tuple[str, ...]] = attributes
+    timed_out = False
     for v in valuations:
+        if cutoff is not None and worlds and time.monotonic() > cutoff:
+            # Without every world no candidate can be *confirmed*
+            # certain; the sound subset at this point is empty.  (The
+            # first world is always evaluated so the result relation
+            # keeps its attributes.)
+            timed_out = True
+            break
         complete = v.apply_database(db)
         answer = evaluate(query, complete, semantics="naive")
         if result_attrs is None:
@@ -140,6 +163,11 @@ def certain_answers_with_nulls(
         pruned=prune,
         exhaustive_candidates=len(db.active_domain()) ** arity,
     )
+    if timed_out:
+        stats.complete = False
+        stats.elapsed = time.monotonic() - start
+        LAST_SEARCH = stats
+        return Relation(result_attrs, [])
     if prune:
         # Seeding already enforces membership in the first world.
         candidates = sorted(_seed_candidates(db, worlds[0]), key=repr)
@@ -150,6 +178,11 @@ def certain_answers_with_nulls(
     stats.candidates_considered = len(candidates)
     certain = []
     for candidate in candidates:
+        if cutoff is not None and time.monotonic() > cutoff:
+            # Every tuple already in ``certain`` survived all worlds, so
+            # returning early stays sound.
+            stats.complete = False
+            break
         accepted = True
         for v, rows in remaining:
             stats.world_checks += 1
@@ -158,6 +191,7 @@ def certain_answers_with_nulls(
                 break
         if accepted:
             certain.append(candidate)
+    stats.elapsed = time.monotonic() - start
     LAST_SEARCH = stats
     return Relation(result_attrs, certain)
 

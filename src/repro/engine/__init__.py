@@ -28,6 +28,12 @@ from repro.engine.executor import (
     plan_cache_stats,
 )
 from repro.engine.explain import explain_sql
+from repro.engine.limits import (
+    QueryTimeout,
+    ResourceError,
+    ResourceLimits,
+    RowBudgetExceeded,
+)
 
 __all__ = [
     "execute_sql",
@@ -37,4 +43,8 @@ __all__ = [
     "explain_sql",
     "plan_cache_stats",
     "clear_plan_cache",
+    "ResourceLimits",
+    "ResourceError",
+    "QueryTimeout",
+    "RowBudgetExceeded",
 ]

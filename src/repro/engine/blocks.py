@@ -26,6 +26,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 from repro.algebra.conditions import like_match
 from repro.algebra.threevl import FALSE, TRUE, UNKNOWN, ThreeValued, from_bool
 from repro.data.nulls import Null, is_null
+from repro.engine.limits import LimitGovernor, ResourceLimits
 from repro.engine.scope import CompileScope, EngineError, Resolution
 from repro.sql import ast
 
@@ -33,6 +34,11 @@ __all__ = ["CompiledBlock", "ExecContext", "compile_block"]
 
 Row = Tuple[object, ...]
 Key = Tuple[str, str]  # (binding, column)
+
+#: Test-only scan instrumentation installed by :mod:`repro.testing.faults`
+#: (``(table name, relation) -> relation`` wrapper); ``None`` in production,
+#: so the hot path pays one global load.
+SCAN_FAULT_HOOK = None
 
 
 class ExecContext:
@@ -45,6 +51,7 @@ class ExecContext:
         marked_nulls: bool = False,
         memoize_probes: bool = True,
         decorrelate: bool = True,
+        limits: Optional[ResourceLimits] = None,
     ):
         self.db = db
         self.params = dict(params or {})
@@ -57,6 +64,11 @@ class ExecContext:
         self.memoize_probes = memoize_probes
         #: decorrelate pure equi-correlated subqueries into hash tables
         self.decorrelate = decorrelate
+        #: resource governance (deadline / row budgets); ``None`` caps nothing
+        self.limits = limits
+        self.governor = (
+            None if limits is None or limits.unlimited else LimitGovernor(limits)
+        )
         #: instrumentation: rows produced by join steps (see explain/tests)
         self.rows_examined = 0
         #: probe-memo cache instrumentation (correlated subqueries)
@@ -68,14 +80,37 @@ class ExecContext:
         #: rows consumed building decorrelated probe tables; kept out of
         #: ``rows_examined`` the same way hash-index builds are
         self.probe_build_rows = 0
+        #: decorrelations abandoned because a probe-table build exceeded
+        #: ``max_probe_build_rows`` — graceful degradation, not an error
+        self.degradations = 0
+
+    def arm(self) -> None:
+        """Restart the wall-clock deadline (top of each prepared run)."""
+        if self.governor is not None:
+            self.governor.arm()
+
+    def check(self) -> None:
+        """Enforce resource limits; called once per row consumed.
+
+        Amortised: with no limits this is a single attribute test, and
+        the governor only reads the clock every
+        :data:`~repro.engine.limits.CHECK_INTERVAL` calls.
+        """
+        governor = self.governor
+        if governor is not None:
+            governor.check(self.rows_examined + self.probe_build_rows)
 
     def relation(self, name: str):
         if name in self.ctes:
-            return self.ctes[name]
-        try:
-            return self.db[name]
-        except KeyError:
-            raise EngineError(f"unknown table {name!r}") from None
+            relation = self.ctes[name]
+        else:
+            try:
+                relation = self.db[name]
+            except KeyError:
+                raise EngineError(f"unknown table {name!r}") from None
+        if SCAN_FAULT_HOOK is not None:
+            relation = SCAN_FAULT_HOOK(name, relation)
+        return relation
 
 
 # ---------------------------------------------------------------------------
@@ -396,12 +431,17 @@ class _Exists(_Cond):
             self.decor = None
             return
         ctx = block.ctx
+        saved_probes = block.probes
         block.probes = [(k, e) for k, e in block.probes if not e.has_outer]
         locals_ = tuple(local for local, _key in self.decor)
         marked = ctx.marked_nulls
+        cap = None if ctx.limits is None else ctx.limits.max_probe_build_rows
         before = ctx.rows_examined
         table: Set[Tuple] = set()
         for slotmap, row in block.iterate({}):
+            if cap is not None and ctx.rows_examined - before > cap:
+                _degrade(self, block, saved_probes, before)
+                return
             key = tuple(row[slotmap[local]] for local in locals_)
             if not marked and any(is_null(v) for v in key):
                 continue
@@ -534,12 +574,17 @@ class _InSubquery(_Cond):
             self.decor = None
             return
         ctx = block.ctx
+        saved_probes = block.probes
         block.probes = [(k, e) for k, e in block.probes if not e.has_outer]
         locals_ = tuple(local for local, _key in self.decor)
         marked = ctx.marked_nulls
+        cap = None if ctx.limits is None else ctx.limits.max_probe_build_rows
         before = ctx.rows_examined
         table: Dict[Tuple, List[object]] = {}
         for sub_cursor in block.iterate({}):
+            if cap is not None and ctx.rows_examined - before > cap:
+                _degrade(self, block, saved_probes, before)
+                return
             sub_slotmap, sub_row = sub_cursor
             key = tuple(sub_row[sub_slotmap[local]] for local in locals_)
             if not marked and any(is_null(v) for v in key):
@@ -549,6 +594,26 @@ class _InSubquery(_Cond):
         ctx.rows_examined = before
         ctx.probe_tables_built += 1
         self._table = table
+
+
+def _degrade(pred, block: "CompiledBlock", saved_probes, rows_before: int) -> None:
+    """Abandon decorrelation mid-build: the probe table would cost more
+    than ``max_probe_build_rows``.
+
+    The inner block is restored to its correlated shape (probes back in
+    place, lazy runtime state dropped so the next iteration re-plans
+    with them) and the predicate falls back to memoized/naive probing,
+    whose results bit-match by construction.  The wasted build work is
+    accounted under ``probe_build_rows`` like any other build.
+    """
+    ctx = block.ctx
+    block.probes = saved_probes
+    block._reset_runtime()
+    ctx.probe_build_rows += ctx.rows_examined - rows_before
+    ctx.rows_examined = rows_before
+    ctx.degradations += 1
+    pred.decor = None
+    pred._table = None
 
 
 def _membership(x, values, marked: bool = False) -> ThreeValued:
@@ -611,6 +676,17 @@ class CompiledBlock:
         self._indexes: Dict[Tuple[str, Tuple[str, ...]], Dict[Tuple, List[Row]]] = {}
         self._pre: List[_Cond] = []
         self._attached: Optional[List[List[_Cond]]] = None
+
+    def _reset_runtime(self) -> None:
+        """Drop lazily-built plan state so the next iteration re-plans
+        (used when a degraded probe-table build restores the block's
+        probes after planning stripped them)."""
+        self._filtered = None
+        self._order = None
+        self._slotmap = None
+        self._indexes = {}
+        self._pre = []
+        self._attached = None
 
     # ------------------------------------------------------------------
     # Compilation
@@ -775,12 +851,14 @@ class CompiledBlock:
     # Runtime
     # ------------------------------------------------------------------
     def _filtered_rows(self, source: _Source) -> List[Row]:
-        relation = self.ctx.relation(source.table)
+        ctx = self.ctx
+        relation = ctx.relation(source.table)
         if not source.filters:
             return relation.rows
         slotmap = {(source.binding, col): i for i, col in enumerate(source.columns)}
         kept = []
         for row in relation.rows:
+            ctx.check()
             cursor = (slotmap, row)
             if all(f.eval(cursor, {}) is TRUE for f in source.filters):
                 kept.append(row)
@@ -881,8 +959,10 @@ class CompiledBlock:
             source = self.sources[binding]
             positions = [source.columns.index(c) for c in columns]
             index = {}
-            marked = self.ctx.marked_nulls
+            ctx = self.ctx
+            marked = ctx.marked_nulls
             for row in self._get_filtered(binding):
+                ctx.check()
                 key = tuple(row[p] for p in positions)
                 if not marked and any(is_null(v) for v in key):
                     continue  # a null join key can never compare TRUE
@@ -903,6 +983,7 @@ class CompiledBlock:
                 return
 
         slotmap = self._slotmap
+        ctx = self.ctx
         single = len(self._order) == 1
 
         def rows_for(step_index: int, partial: Row) -> Iterator[Row]:
@@ -917,7 +998,7 @@ class CompiledBlock:
                         probe.append(payload.eval((slotmap, partial), env))
                     else:
                         probe.append(partial[slotmap[payload]])
-                if not self.ctx.marked_nulls and any(is_null(v) for v in probe):
+                if not ctx.marked_nulls and any(is_null(v) for v in probe):
                     return iter(())
                 return iter(index.get(tuple(probe), ()))
             return iter(self._get_filtered(binding))
@@ -927,7 +1008,8 @@ class CompiledBlock:
             last = step_index == len(self._order) - 1
             for row in rows_for(step_index, partial):
                 combined = partial + row
-                self.ctx.rows_examined += 1
+                ctx.rows_examined += 1
+                ctx.check()
                 cursor = (slotmap, combined)
                 if checks and not all(c.eval(cursor, env) is TRUE for c in checks):
                     continue
@@ -948,9 +1030,10 @@ class CompiledBlock:
                 if source.filters:
                     rows = self._stream_filtered(source)
                 else:
-                    rows = iter(self.ctx.relation(source.table).rows)
+                    rows = iter(ctx.relation(source.table).rows)
             for row in rows:
-                self.ctx.rows_examined += 1
+                ctx.rows_examined += 1
+                ctx.check()
                 cursor = (slotmap, row)
                 if checks and not all(c.eval(cursor, env) is TRUE for c in checks):
                     continue
@@ -959,8 +1042,10 @@ class CompiledBlock:
         yield from pipeline(0, ())
 
     def _stream_filtered(self, source: _Source) -> Iterator[Row]:
+        ctx = self.ctx
         slotmap = {(source.binding, col): i for i, col in enumerate(source.columns)}
-        for row in self.ctx.relation(source.table).rows:
+        for row in ctx.relation(source.table).rows:
+            ctx.check()
             cursor = (slotmap, row)
             if all(f.eval(cursor, {}) is TRUE for f in source.filters):
                 yield row

@@ -19,6 +19,7 @@ from typing import Callable, Dict, List, Optional, Tuple, Union as TUnion
 from repro.data.database import Database
 from repro.data.relation import Relation
 from repro.engine.blocks import CompiledBlock, ExecContext
+from repro.engine.limits import ResourceLimits
 from repro.engine.scope import EngineError
 from repro.sql import ast
 from repro.sql.parser import parse_sql
@@ -54,6 +55,9 @@ class PreparedQuery:
         return self.executor.ctx
 
     def run(self) -> Relation:
+        # Each run gets a fresh wall-clock deadline (row budgets, being
+        # cumulative work counters, deliberately persist across runs).
+        self.executor.ctx.arm()
         return self._runner()
 
 
@@ -75,6 +79,7 @@ class Executor:
         marked_nulls: bool = False,
         memoize_probes: bool = True,
         decorrelate: bool = True,
+        limits: Optional[ResourceLimits] = None,
     ):
         self.ctx = ExecContext(
             db,
@@ -82,15 +87,21 @@ class Executor:
             marked_nulls=marked_nulls,
             memoize_probes=memoize_probes,
             decorrelate=decorrelate,
+            limits=limits,
         )
 
     # ------------------------------------------------------------------
     def prepare(self, query: TUnion[ast.Query, ast.Select, ast.SetOp]) -> PreparedQuery:
         query = ast.query_of(query)
+        seen = set()
         for name, sub in query.ctes:
-            if name in self.ctx.ctes:
+            if name in seen:
                 raise EngineError(f"duplicate WITH view {name!r}")
-            self.ctx.ctes[name] = self._run_query(sub)
+            seen.add(name)
+            # Idempotent per statement: re-preparing (as PreparedQuery
+            # invites) reuses the materialisation instead of erroring.
+            if name not in self.ctx.ctes:
+                self.ctx.ctes[name] = self._run_query(sub)
         return PreparedQuery(self, self._plan_body(query.body))
 
     def execute(self, query: TUnion[ast.Query, ast.Select, ast.SetOp]) -> Relation:
@@ -278,6 +289,7 @@ def execute_query(
     marked_nulls: bool = False,
     memoize_probes: bool = True,
     decorrelate: bool = True,
+    limits: Optional[ResourceLimits] = None,
 ) -> Relation:
     """Execute a parsed query; returns a :class:`Relation`.
 
@@ -286,6 +298,9 @@ def execute_query(
     ``memoize_probes``/``decorrelate`` gate the correlated-subquery
     optimisations (both on by default; disabling them reproduces the
     naive O(outer × inner) probing, used by the equivalence tests).
+    ``limits`` attaches a deadline/row budget to the run (see
+    :mod:`repro.engine.limits`); exceeding a hard cap raises
+    :class:`~repro.engine.limits.ResourceError`.
     """
     return Executor(
         db,
@@ -293,6 +308,7 @@ def execute_query(
         marked_nulls=marked_nulls,
         memoize_probes=memoize_probes,
         decorrelate=decorrelate,
+        limits=limits,
     ).execute(ast.query_of(query))
 
 
@@ -303,6 +319,7 @@ def execute_sql(
     marked_nulls: bool = False,
     memoize_probes: bool = True,
     decorrelate: bool = True,
+    limits: Optional[ResourceLimits] = None,
 ) -> Relation:
     """Parse (if necessary, through the plan cache) and execute SQL."""
     if isinstance(sql, str):
@@ -314,4 +331,5 @@ def execute_sql(
         marked_nulls=marked_nulls,
         memoize_probes=memoize_probes,
         decorrelate=decorrelate,
+        limits=limits,
     )

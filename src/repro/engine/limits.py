@@ -1,0 +1,151 @@
+"""Resource governance: deadlines, row budgets, graceful degradation.
+
+Certain-answer computation is coNP-hard in data complexity (Section 2),
+so both the brute-force ground truth and the rewritten ``Q+`` queries
+can blow up without warning.  A production engine never runs a query
+without a deadline; this module supplies the vocabulary:
+
+* :class:`ResourceLimits` — an immutable bundle of caps a caller may
+  attach to an execution (``limits=`` on :class:`~repro.engine.Executor`,
+  :func:`~repro.engine.execute_sql`, …);
+* a structured exception hierarchy rooted at :class:`ResourceError`
+  (itself an :class:`~repro.engine.scope.EngineError`, so existing
+  blanket handlers keep working): :class:`QueryTimeout` for wall-clock
+  deadlines and :class:`RowBudgetExceeded` for row budgets;
+* :class:`LimitGovernor` — the amortised run-time checker carried by
+  ``ExecContext`` and consulted from the engine's row-iteration and
+  hash/probe-build loops.
+
+``max_probe_build_rows`` is different from the two hard caps: tripping
+it does not raise.  The engine *degrades* instead — it abandons hash
+decorrelation for the offending subquery and falls back to memoized
+probing, which bit-matches the naive path (counted in
+``ExecContext.degradations``).  That is the paper-adjacent "anytime"
+stance: when an optimisation's up-front cost is out of budget, a slower
+sound strategy beats an error.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.engine.scope import EngineError
+
+__all__ = [
+    "ResourceLimits",
+    "ResourceError",
+    "QueryTimeout",
+    "RowBudgetExceeded",
+    "LimitGovernor",
+]
+
+
+class ResourceError(EngineError):
+    """A query exceeded one of its :class:`ResourceLimits`."""
+
+
+class QueryTimeout(ResourceError):
+    """The wall-clock deadline expired before evaluation finished."""
+
+    def __init__(self, deadline_seconds: float, elapsed: float):
+        super().__init__(
+            f"query exceeded its {deadline_seconds:g}s deadline "
+            f"(elapsed {elapsed:.3f}s)"
+        )
+        self.deadline_seconds = deadline_seconds
+        self.elapsed = elapsed
+
+
+class RowBudgetExceeded(ResourceError):
+    """Evaluation consumed more rows than ``max_rows_examined`` allows."""
+
+    def __init__(self, budget: int, examined: int):
+        super().__init__(
+            f"query examined {examined} rows, exceeding its budget of {budget}"
+        )
+        self.budget = budget
+        self.examined = examined
+
+
+@dataclass(frozen=True)
+class ResourceLimits:
+    """Caps on one execution.  ``None`` disables the corresponding cap.
+
+    ``deadline_seconds``
+        Wall-clock budget per run.  Re-armed on every
+        :meth:`PreparedQuery.run`, so a prepared statement gets a fresh
+        deadline each execution.  Expiry raises :class:`QueryTimeout`.
+    ``max_rows_examined``
+        Hard cap on ``rows_examined + probe_build_rows``.  Exceeding it
+        raises :class:`RowBudgetExceeded`.
+    ``max_probe_build_rows``
+        Soft cap on the rows any *single* decorrelated probe-table build
+        may consume.  Exceeding it abandons decorrelation for that
+        subquery (falling back to memoized probing, results unchanged)
+        and bumps ``ExecContext.degradations`` instead of raising.
+    """
+
+    deadline_seconds: Optional[float] = None
+    max_rows_examined: Optional[int] = None
+    max_probe_build_rows: Optional[int] = None
+
+    def __post_init__(self):
+        for name in ("deadline_seconds", "max_rows_examined", "max_probe_build_rows"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+    @property
+    def unlimited(self) -> bool:
+        return (
+            self.deadline_seconds is None
+            and self.max_rows_examined is None
+            and self.max_probe_build_rows is None
+        )
+
+
+#: How many ``check()`` calls elapse between wall-clock reads.  Row
+#: budgets are exact (an integer compare per call is cheap); the clock
+#: is only consulted every interval, so a deadline can overshoot by at
+#: most the time it takes to examine this many rows.
+CHECK_INTERVAL = 64
+
+
+class LimitGovernor:
+    """Amortised enforcement of one :class:`ResourceLimits` bundle.
+
+    The engine calls :meth:`check` once per row produced by a scan or
+    join step.  The row-budget comparison runs every call; the clock is
+    read on the first call after :meth:`arm` and every
+    :data:`CHECK_INTERVAL` calls thereafter, keeping the common case to
+    two attribute loads and an integer compare.
+    """
+
+    __slots__ = ("limits", "_started", "_deadline", "_ticks")
+
+    def __init__(self, limits: ResourceLimits):
+        self.limits = limits
+        self.arm()
+
+    def arm(self) -> None:
+        """(Re-)start the wall clock; called at the top of each run."""
+        self._started = time.monotonic()
+        deadline = self.limits.deadline_seconds
+        self._deadline = None if deadline is None else self._started + deadline
+        self._ticks = CHECK_INTERVAL  # first check() reads the clock
+
+    def check(self, rows_consumed: int) -> None:
+        budget = self.limits.max_rows_examined
+        if budget is not None and rows_consumed > budget:
+            raise RowBudgetExceeded(budget, rows_consumed)
+        if self._deadline is None:
+            return
+        self._ticks += 1
+        if self._ticks < CHECK_INTERVAL:
+            return
+        self._ticks = 0
+        now = time.monotonic()
+        if now > self._deadline:
+            raise QueryTimeout(self.limits.deadline_seconds, now - self._started)

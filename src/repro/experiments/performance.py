@@ -10,10 +10,9 @@ correct query is *faster* (Q2's short-circuit); above 1 it is slower
 
 from __future__ import annotations
 
-import multiprocessing
 import random
 import time
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple, Union as TUnion
 
 from repro.data.database import Database
 from repro.engine import Executor
@@ -21,24 +20,37 @@ from repro.engine.executor import PLAN_CACHE
 from repro.sql import ast
 from repro.sql.parser import parse_sql
 from repro.sql.rewrite import RewriteOptions, rewrite_certain
+from repro.testing.faults import check_task_fault
 from repro.tpch.dbgen import generate_instance
 from repro.tpch.nullify import inject_nulls
 from repro.tpch.queries import QUERIES, sample_parameters
 from repro.tpch.schema import tpch_schema
 from repro.experiments.report import format_ratio, render_series
+from repro.experiments.runner import RunReport, run_tasks
 
-__all__ = ["run_price_of_correctness", "time_query", "rewritten_queries", "main"]
+__all__ = [
+    "run_price_of_correctness",
+    "time_query",
+    "rewritten_queries",
+    "main",
+    "LAST_RUN",
+]
+
+#: Fault-tolerance report of the most recent harness run (rebound, not
+#: mutated, per call — the ``LAST_SEARCH`` idiom).
+LAST_RUN = RunReport()
 
 
 def time_query(
     db: Database,
-    query: ast.Query,
+    query: TUnion[str, ast.Query, ast.Select, ast.SetOp],
     params: Dict[str, object],
     repeats: int = 3,
 ) -> Tuple[float, int]:
     """Best-of-*repeats* wall-clock execution time and result size.
 
-    The statement is prepared once (through the plan cache when given as
+    ``query`` may be SQL text or an already-parsed statement.  The
+    statement is prepared once (through the plan cache when given as
     text) and re-run ``repeats`` times, so the repeats measure evaluation
     rather than parsing and recompilation.
     """
@@ -80,17 +92,24 @@ def rewritten_queries(
     return out
 
 
-def _instance_ratios(task: tuple) -> Dict[str, List[float]]:
-    """One instance's worth of Figure 4 measurements (pool worker body)."""
+def _instance_ratios(task: tuple) -> Dict[str, object]:
+    """One instance's worth of Figure 4 measurements (pool worker body).
+
+    Returns a JSON-serialisable ``{"ratios": {qid: [t+/t, …]},
+    "discarded": n}`` so results survive checkpoint round-trips;
+    ``discarded`` counts samples dropped by the ``t_orig > 0`` guard.
+    """
     (
-        rate, scale, instance_seed, null_seed, param_seed,
+        key, rate, scale, instance_seed, null_seed, param_seed,
         query_ids, param_draws, repeats, use_appendix, options,
     ) = task
+    check_task_fault(key)
     queries = rewritten_queries(query_ids, use_appendix=use_appendix, options=options)
     base = generate_instance(scale=scale, seed=instance_seed)
     db = inject_nulls(base, rate, seed=null_seed)
     rng = random.Random(param_seed)
     ratios: Dict[str, List[float]] = {qid: [] for qid in query_ids}
+    discarded = 0
     for qid in query_ids:
         original, plus = queries[qid]
         for _ in range(param_draws):
@@ -99,7 +118,9 @@ def _instance_ratios(task: tuple) -> Dict[str, List[float]]:
             t_plus, _n = time_query(db, plus, params, repeats)
             if t_orig > 0:
                 ratios[qid].append(t_plus / t_orig)
-    return ratios
+            else:
+                discarded += 1
+    return {"ratios": ratios, "discarded": discarded}
 
 
 def run_price_of_correctness(
@@ -113,6 +134,10 @@ def run_price_of_correctness(
     use_appendix: bool = False,
     options: Optional[RewriteOptions] = None,
     workers: Optional[int] = None,
+    task_timeout: Optional[float] = None,
+    retries: int = 1,
+    backoff: float = 0.1,
+    checkpoint: Optional[str] = None,
 ) -> Dict[str, List[Tuple[float, float]]]:
     """Return ``{query: [(null rate %, avg t+/t), …]}`` (Figure 4).
 
@@ -121,36 +146,60 @@ def run_price_of_correctness(
     preserving the relative-performance shape.
 
     ``workers`` fans the per-instance measurements out over a
-    ``multiprocessing`` pool.  The default (``None``/0/1) stays serial
-    and bit-reproduces the historical parameter stream; parallel runs
-    draw each instance's parameters from an independent seeded stream,
-    so results are deterministic per ``(seed, workers>1)`` but differ
-    from the serial stream.
+    fault-tolerant task runner (:mod:`repro.experiments.runner`): each
+    instance is its own task with a ``task_timeout``, up to ``retries``
+    re-submissions with jittered ``backoff``, and failures are recorded
+    in ``LAST_RUN.failed_instances`` (keyed ``"<rate>:<instance>"``)
+    instead of sinking the run.  ``checkpoint`` names a JSON file
+    updated after every completed instance; re-running with the same
+    file skips instances already measured.  A checkpoint also routes a
+    serial run (``workers in (None, 0, 1)``) through the task runner;
+    otherwise the serial path bit-reproduces the historical parameter
+    stream.  Parallel/task runs draw each instance's parameters from an
+    independent seeded stream, so results are deterministic per seed but
+    differ from the serial stream.
     """
+    global LAST_RUN
     null_rates = tuple(null_rates)
     query_ids = tuple(query_ids)
     rng = random.Random(seed)
     series: Dict[str, List[Tuple[float, float]]] = {qid: [] for qid in query_ids}
 
-    if workers is not None and workers > 1:
-        tasks = []
+    if (workers is not None and workers > 1) or checkpoint is not None:
+        tasks: Dict[str, tuple] = {}
         for rate in null_rates:
-            for _ in range(instances):
-                tasks.append((
-                    rate, scale, rng.randrange(2**31), rng.randrange(2**31),
+            for i in range(instances):
+                key = f"{rate:g}:{i}"
+                tasks[key] = (
+                    key, rate, scale, rng.randrange(2**31), rng.randrange(2**31),
                     rng.randrange(2**31), query_ids, param_draws, repeats,
                     use_appendix, options,
-                ))
-        with multiprocessing.Pool(workers) as pool:
-            results = pool.map(_instance_ratios, tasks)
-        for i, rate in enumerate(null_rates):
-            per_instance = results[i * instances:(i + 1) * instances]
+                )
+        results, report = run_tasks(
+            _instance_ratios,
+            tasks,
+            workers=workers,
+            task_timeout=task_timeout,
+            retries=retries,
+            backoff=backoff,
+            checkpoint=checkpoint,
+            rng=random.Random(rng.randrange(2**31)),
+        )
+        for rate in null_rates:
+            per_instance = [
+                results[f"{rate:g}:{i}"]
+                for i in range(instances)
+                if f"{rate:g}:{i}" in results
+            ]
+            report.discarded_samples += sum(res["discarded"] for res in per_instance)
             for qid in query_ids:
-                values = [r for res in per_instance for r in res[qid]]
+                values = [r for res in per_instance for r in res["ratios"][qid]]
                 avg = sum(values) / len(values) if values else float("nan")
                 series[qid].append((round(rate * 100, 2), avg))
+        LAST_RUN = report
         return series
 
+    report = RunReport(total=len(null_rates) * instances)
     queries = rewritten_queries(query_ids, use_appendix=use_appendix, options=options)
     for rate in null_rates:
         ratios: Dict[str, List[float]] = {qid: [] for qid in query_ids}
@@ -165,21 +214,40 @@ def run_price_of_correctness(
                     t_plus, _n = time_query(db, plus, params, repeats)
                     if t_orig > 0:
                         ratios[qid].append(t_plus / t_orig)
+                    else:
+                        report.discarded_samples += 1
+            report.completed += 1
         for qid in query_ids:
             values = ratios[qid]
             avg = sum(values) / len(values) if values else float("nan")
             series[qid].append((round(rate * 100, 2), avg))
+    LAST_RUN = report
     return series
 
 
-def main(workers: Optional[int] = None) -> str:
-    series = run_price_of_correctness(workers=workers)
+def main(
+    workers: Optional[int] = None,
+    task_timeout: Optional[float] = None,
+    retries: int = 1,
+    checkpoint: Optional[str] = None,
+) -> str:
+    series = run_price_of_correctness(
+        workers=workers,
+        task_timeout=task_timeout,
+        retries=retries,
+        checkpoint=checkpoint,
+    )
     text = render_series(
         "Figure 4 — average relative performance t(Q+)/t(Q) per null rate",
         "null rate %",
         series,
         y_format=format_ratio,
     )
+    if LAST_RUN.failed_instances:
+        failures = ", ".join(
+            f"{f.key} ({f.error})" for f in LAST_RUN.failed_instances
+        )
+        text += f"\nfailed instances: {failures}"
     print(text)
     return text
 

@@ -8,30 +8,41 @@ scale units 1×/3×/6×/10× standing in for 1/3/6/10 GB.
 
 from __future__ import annotations
 
-import multiprocessing
 import random
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.experiments.performance import rewritten_queries, time_query
 from repro.experiments.report import format_ratio, render_table
+from repro.experiments.runner import RunReport, run_tasks
+from repro.testing.faults import check_task_fault
 from repro.tpch.dbgen import generate_instance
 from repro.tpch.nullify import inject_nulls
 from repro.tpch.queries import sample_parameters
 
-__all__ = ["run_scaling_experiment", "main"]
+__all__ = ["run_scaling_experiment", "main", "LAST_RUN"]
+
+#: Fault-tolerance report of the most recent harness run (rebound, not
+#: mutated, per call — the ``LAST_SEARCH`` idiom).
+LAST_RUN = RunReport()
 
 
-def _scale_rate_averages(task: tuple) -> Dict[str, float]:
-    """Per-(scale, rate) average ratios (pool worker body)."""
+def _scale_rate_averages(task: tuple) -> Dict[str, object]:
+    """Per-(scale, rate) average ratios (pool worker body).
+
+    Returns JSON-serialisable ``{"averages": {qid: avg}, "discarded": n}``
+    so results survive checkpoint round-trips.
+    """
     (
-        scale, rate, instance_seed, null_seed, param_seed,
+        key, scale, rate, instance_seed, null_seed, param_seed,
         query_ids, param_draws, repeats, base_scale,
     ) = task
+    check_task_fault(key)
     queries = rewritten_queries(query_ids)
     base = generate_instance(scale=scale * base_scale, seed=instance_seed)
     db = inject_nulls(base, rate, seed=null_seed)
     rng = random.Random(param_seed)
     averages: Dict[str, float] = {}
+    discarded = 0
     for qid in query_ids:
         original, plus = queries[qid]
         ratios = []
@@ -41,9 +52,11 @@ def _scale_rate_averages(task: tuple) -> Dict[str, float]:
             t_plus, _ = time_query(db, plus, params, repeats)
             if t_orig > 0:
                 ratios.append(t_plus / t_orig)
+            else:
+                discarded += 1
         if ratios:
             averages[qid] = sum(ratios) / len(ratios)
-    return averages
+    return {"averages": averages, "discarded": discarded}
 
 
 def run_scaling_experiment(
@@ -55,6 +68,10 @@ def run_scaling_experiment(
     query_ids=("Q1", "Q2", "Q3", "Q4"),
     base_scale: float = 0.5,
     workers: Optional[int] = None,
+    task_timeout: Optional[float] = None,
+    retries: int = 1,
+    backoff: float = 0.1,
+    checkpoint: Optional[str] = None,
 ) -> Dict[str, Dict[float, Tuple[float, float]]]:
     """Return ``{query: {scale: (min avg ratio, max avg ratio)}}``.
 
@@ -62,34 +79,58 @@ def run_scaling_experiment(
     range is over null rates — exactly how Table 1 summarises Figure 4's
     data at larger sizes.  ``base_scale`` maps "1 GB" onto a generator
     scale unit.  ``workers`` parallelises over (scale, null rate) cells
-    with a ``multiprocessing`` pool; the default stays serial and
-    bit-reproduces the historical parameter stream.
+    through the fault-tolerant task runner, with the same
+    ``task_timeout``/``retries``/``backoff``/``checkpoint`` semantics as
+    :func:`~repro.experiments.performance.run_price_of_correctness`
+    (failures land in ``LAST_RUN.failed_instances`` keyed
+    ``"<scale>:<rate>"``).  The default stays serial and bit-reproduces
+    the historical parameter stream unless a ``checkpoint`` routes it
+    through the task runner.
     """
+    global LAST_RUN
     scales = tuple(scales)
     null_rates = tuple(null_rates)
     query_ids = tuple(query_ids)
     rng = random.Random(seed)
     table: Dict[str, Dict[float, Tuple[float, float]]] = {q: {} for q in query_ids}
 
-    if workers is not None and workers > 1:
-        tasks = []
+    if (workers is not None and workers > 1) or checkpoint is not None:
+        tasks: Dict[str, tuple] = {}
         for scale in scales:
             for rate in null_rates:
-                tasks.append((
-                    scale, rate, rng.randrange(2**31), rng.randrange(2**31),
+                key = f"{scale:g}:{rate:g}"
+                tasks[key] = (
+                    key, scale, rate, rng.randrange(2**31), rng.randrange(2**31),
                     rng.randrange(2**31), query_ids, param_draws, repeats,
                     base_scale,
-                ))
-        with multiprocessing.Pool(workers) as pool:
-            results = pool.map(_scale_rate_averages, tasks)
-        for i, scale in enumerate(scales):
-            cells = results[i * len(null_rates):(i + 1) * len(null_rates)]
+                )
+        results, report = run_tasks(
+            _scale_rate_averages,
+            tasks,
+            workers=workers,
+            task_timeout=task_timeout,
+            retries=retries,
+            backoff=backoff,
+            checkpoint=checkpoint,
+            rng=random.Random(rng.randrange(2**31)),
+        )
+        for scale in scales:
+            cells = [
+                results[f"{scale:g}:{rate:g}"]
+                for rate in null_rates
+                if f"{scale:g}:{rate:g}" in results
+            ]
+            report.discarded_samples += sum(cell["discarded"] for cell in cells)
             for qid in query_ids:
-                values = [cell[qid] for cell in cells if qid in cell]
+                values = [
+                    cell["averages"][qid] for cell in cells if qid in cell["averages"]
+                ]
                 if values:
                     table[qid][scale] = (min(values), max(values))
+        LAST_RUN = report
         return table
 
+    report = RunReport(total=len(scales) * len(null_rates))
     queries = rewritten_queries(query_ids)
     for scale in scales:
         per_rate: Dict[str, List[float]] = {q: [] for q in query_ids}
@@ -107,17 +148,31 @@ def run_scaling_experiment(
                     t_plus, _ = time_query(db, plus, params, repeats)
                     if t_orig > 0:
                         ratios.append(t_plus / t_orig)
+                    else:
+                        report.discarded_samples += 1
                 if ratios:
                     per_rate[qid].append(sum(ratios) / len(ratios))
+            report.completed += 1
         for qid in query_ids:
             values = per_rate[qid]
             if values:
                 table[qid][scale] = (min(values), max(values))
+    LAST_RUN = report
     return table
 
 
-def main(workers: Optional[int] = None) -> str:
-    results = run_scaling_experiment(workers=workers)
+def main(
+    workers: Optional[int] = None,
+    task_timeout: Optional[float] = None,
+    retries: int = 1,
+    checkpoint: Optional[str] = None,
+) -> str:
+    results = run_scaling_experiment(
+        workers=workers,
+        task_timeout=task_timeout,
+        retries=retries,
+        checkpoint=checkpoint,
+    )
     scales = sorted({s for per in results.values() for s in per})
     header = ["Query"] + [f"{s:g}x" for s in scales]
     rows = []
@@ -134,6 +189,11 @@ def main(workers: Optional[int] = None) -> str:
         header,
         rows,
     )
+    if LAST_RUN.failed_instances:
+        failures = ", ".join(
+            f"{f.key} ({f.error})" for f in LAST_RUN.failed_instances
+        )
+        text += f"\nfailed instances: {failures}"
     print(text)
     return text
 

@@ -143,6 +143,33 @@ class TestCtes:
                 "SELECT * FROM v",
             )
 
+    def test_prepare_is_reentrant(self, db):
+        # Regression: preparing the same CTE query twice on one Executor
+        # used to raise a spurious "duplicate WITH view" error because
+        # the view survived in ctx.ctes from the first prepare.
+        from repro.engine import Executor
+        from repro.sql.parser import parse_sql
+
+        query = parse_sql(
+            "WITH big AS (SELECT a FROM t WHERE a > 1) "
+            "SELECT a FROM big WHERE a < 3"
+        )
+        executor = Executor(db)
+        first = executor.prepare(query).run()
+        second = executor.prepare(query).run()
+        assert first.rows == second.rows == [(2,)]
+
+    def test_prepare_reentry_still_rejects_intra_statement_duplicates(self, db):
+        from repro.engine import Executor
+        from repro.sql.parser import parse_sql
+
+        query = parse_sql(
+            "WITH v AS (SELECT a FROM t), v AS (SELECT a FROM u) SELECT * FROM v"
+        )
+        executor = Executor(db)
+        with pytest.raises(EngineError, match="duplicate WITH"):
+            executor.prepare(query)
+
 
 class TestErrors:
     def test_unknown_table(self, db):
