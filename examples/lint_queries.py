@@ -1,0 +1,38 @@
+"""Statically lint the paper's Q1-Q4 and their certain-answer rewritings.
+
+The analyzer decides, without touching any data, whether naive SQL
+evaluation of a query can return tuples that are not certain answers.
+The originals all can (that is the paper's point); the rewritings
+either come back clean-but-incomplete or stay conservatively flagged.
+
+Run:  python examples/lint_queries.py
+"""
+
+from repro.analysis import analyze_sql, render_pretty
+from repro.tpch.queries import QUERIES
+from repro.tpch.schema import tpch_schema
+
+
+def main() -> None:
+    schema = tpch_schema()
+    for name in sorted(QUERIES):
+        original, rewritten = QUERIES[name][0], QUERIES[name][1]
+        for label, sql in ((name, original), (name + "+", rewritten)):
+            report = analyze_sql(sql, schema)
+            print(render_pretty(report, name=label))
+            print()
+
+    print("Reading the verdicts:")
+    print(" * Q1-Q4 are 'unsound': a NOT EXISTS over a nullable column")
+    print("   misses its witness when the comparison is UNKNOWN, so naive")
+    print("   evaluation returns answers some valuation falsifies.")
+    print(" * Q1+/Q3+ carry their OR ... IS NULL escapes inline; the")
+    print("   analyzer recognises them and downgrades to 'suspect'")
+    print("   (sound, but certain answers may be missed).")
+    print(" * Q2+/Q4+ compensate across blocks, which the per-comparison")
+    print("   escape recognition deliberately does not model - they stay")
+    print("   flagged rather than trusted on faith.")
+
+
+if __name__ == "__main__":
+    main()

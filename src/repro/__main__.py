@@ -10,6 +10,9 @@ ad-hoc SQL against the TPC-H schema:
 * ``recall``   — precision/recall of the rewritten queries
 * ``rewrite``  — print the certain-answer rewriting ``Q+`` of a query
 * ``explain``  — cost-annotated plan of a query on a generated instance
+* ``lint``     — static soundness analysis of queries (see
+  ``docs/analyzer.md``); exits 1 when any query is unsound, 2 on
+  syntax/rewrite errors
 
 Each experiment accepts ``--paper-scale`` for settings closer to the
 paper's (slower) and a ``--seed``.
@@ -118,6 +121,42 @@ def _cmd_explain(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis import UNSOUND, analyze_sql, render_json, render_pretty
+    from repro.tpch.queries import QUERIES
+    from repro.tpch.schema import tpch_schema
+
+    schema = tpch_schema()
+    named = []
+    for item in args.queries or [None]:
+        if item is not None and item.rstrip("+") in QUERIES:
+            base = item.rstrip("+")
+            sql = QUERIES[base][1 if item.endswith("+") else 0]
+            named.append((item, sql))
+        else:
+            named.append(("<stdin>" if item is None else "<sql>", item or sys.stdin.read()))
+
+    reports = [(name, analyze_sql(sql, schema)) for name, sql in named]
+    if args.format == "json":
+        if len(reports) == 1:
+            print(render_json(reports[0][1], name=reports[0][0]))
+        else:
+            import json
+
+            payload = []
+            for name, report in reports:
+                entry = report.to_dict()
+                entry["query"] = name
+                payload.append(entry)
+            print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for i, (name, report) in enumerate(reports):
+            if i:
+                print()
+            print(render_pretty(report, name=name))
+    return 1 if any(report.verdict == UNSOUND for _, report in reports) else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -177,6 +216,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-union-views", action="store_true")
     p.set_defaults(handler=_cmd_rewrite)
 
+    p = sub.add_parser(
+        "lint",
+        help="static soundness analysis: certified / suspect / unsound",
+        description=(
+            "Analyze queries against the TPC-H schema with the static "
+            "soundness analyzer (repro.analysis).  Arguments are query "
+            "names (Q1..Q4, or Q1+..Q4+ for the rewritten versions) or "
+            "literal SQL; with no argument, SQL is read from stdin.  "
+            "Exit status: 0 when no query is unsound, 1 otherwise, 2 on "
+            "syntax or rewrite errors."
+        ),
+    )
+    p.add_argument("queries", nargs="*", help="query names (Q1..Q4, Q1+..Q4+) or SQL")
+    p.add_argument("--format", default="pretty", choices=["pretty", "json"])
+    p.set_defaults(handler=_cmd_lint)
+
     p = sub.add_parser("explain", help="EXPLAIN a query on a generated instance")
     p.add_argument("sql", nargs="?", help="SQL text, or Q1..Q4 (stdin if omitted)")
     p.add_argument("--scale", type=float, default=0.5)
@@ -188,8 +243,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
+    from repro.sql.lexer import SqlSyntaxError
+    from repro.sql.nullability import RewriteError
+
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except SqlSyntaxError as err:
+        print(f"syntax error: {err}", file=sys.stderr)
+        return 2
+    except RewriteError as err:
+        print(f"rewrite error: {err}", file=sys.stderr)
+        for diag in err.diagnostics:
+            print(f"  [{diag.rule}] {diag.message}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -21,7 +21,7 @@ of an out-of-memory condition.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.algebra import conditions as C
 from repro.algebra.expr import (

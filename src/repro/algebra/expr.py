@@ -17,8 +17,8 @@ far as possible without a database at hand.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Tuple
 
 from repro.algebra.conditions import Condition
 from repro.data.relation import Relation

@@ -1,0 +1,193 @@
+"""Soundness checks on translated algebra plans.
+
+The SQL-level walker (:mod:`repro.analysis.walker`) sees the query as
+written; this module sees what the engine actually runs — the algebra
+produced by :func:`repro.translate.sql_to_algebra` — and applies the
+same soundness reasoning to its operators:
+
+* plain :class:`~repro.algebra.expr.AntiJoin`, ``Difference`` and
+  ``Division`` are naive negation: a possibly-null attribute feeding the
+  match means a witness can be missed naively yet exist under a
+  valuation (SA401, the algebra mirror of SA101);
+* the *unification* variants ``UnifSemiJoin`` / ``UnifAntiJoin`` of
+  Definition 4 match nulls by unifiability and are exactly the paper's
+  null-safe replacements, so they are never flagged;
+* ``null(A)`` tests in conditions — and negations over comparisons of
+  possibly-null attributes — are not valuation-invariant (SA402);
+* positive conditions over possibly-null attributes are sound but can
+  drop tuples every completion keeps (SA403).
+
+Nullability of intermediate results comes from
+:func:`repro.algebra.infer.output_nullability`.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List
+
+from repro.algebra import conditions as C
+from repro.algebra.expr import (
+    AntiJoin,
+    Difference,
+    Division,
+    Expr,
+    Intersection,
+    Join,
+    Selection,
+    SemiJoin,
+)
+from repro.algebra.infer import output_attributes, output_nullability
+from repro.analysis.diagnostics import AnalysisReport, Diagnostic
+from repro.analysis.rules import RULES
+
+__all__ = ["analyze_algebra"]
+
+
+def analyze_algebra(expr: Expr, source) -> AnalysisReport:
+    """Run the algebra-level soundness checks over a plan.
+
+    *source* is anything :func:`repro.algebra.infer.attribute_lookup`
+    accepts — a :class:`~repro.data.database.Database` (instance-level
+    nullability: which columns actually carry marked nulls), a
+    :class:`~repro.data.schema.DatabaseSchema` (declared nullability)
+    or a plain attribute dict (conservatively all-nullable).
+    """
+    checker = _AlgebraChecker(source)
+    checker.walk(expr)
+    return checker.report.finish()
+
+
+def _null_tests_in(cond: C.Condition) -> List[C.NullTest]:
+    if isinstance(cond, C.NullTest):
+        return [cond]
+    if isinstance(cond, (C.And, C.Or)):
+        tests: List[C.NullTest] = []
+        for item in cond.items:
+            tests.extend(_null_tests_in(item))
+        return tests
+    if isinstance(cond, C.Not):
+        return _null_tests_in(cond.item)
+    return []
+
+
+def _negated_attrs(cond: C.Condition, under_not: bool = False) -> FrozenSet[str]:
+    """Attributes compared under an odd number of negations."""
+    if isinstance(cond, C.Comparison):
+        return C.attrs_in(cond) if under_not else frozenset()
+    if isinstance(cond, (C.And, C.Or)):
+        result: FrozenSet[str] = frozenset()
+        for item in cond.items:
+            result |= _negated_attrs(item, under_not)
+        return result
+    if isinstance(cond, C.Not):
+        return _negated_attrs(cond.item, not under_not)
+    return frozenset()
+
+
+class _AlgebraChecker:
+    def __init__(self, source):
+        self.source = source
+        self.report = AnalysisReport()
+
+    def emit(self, rule_id: str, message: str, **context: str) -> None:
+        self.report.add(
+            Diagnostic(
+                rule=rule_id,
+                severity=RULES[rule_id].severity,
+                message=message,
+                context=tuple(sorted(context.items())),
+            )
+        )
+
+    def _nullable_attrs(self, expr: Expr) -> FrozenSet[str]:
+        attrs = output_attributes(expr, self.source)
+        flags = output_nullability(expr, self.source)
+        return frozenset(a for a, f in zip(attrs, flags) if f)
+
+    # ------------------------------------------------------------------
+    def walk(self, expr: Expr) -> None:
+        if isinstance(expr, Selection):
+            self._check_condition(
+                expr.condition,
+                self._nullable_attrs(expr.child),
+                f"selection {expr.condition!r}",
+            )
+        elif isinstance(expr, (Join, SemiJoin, AntiJoin)):
+            in_scope = self._nullable_attrs(expr.left) | self._nullable_attrs(expr.right)
+            name = type(expr).__name__.lower()
+            self._check_condition(
+                expr.condition, in_scope, f"{name} condition {expr.condition!r}"
+            )
+            if isinstance(expr, AntiJoin):
+                self._check_negation(
+                    "antijoin", in_scope & C.attrs_in(expr.condition)
+                )
+        elif isinstance(expr, (Difference, Division)):
+            name = type(expr).__name__.lower()
+            self._check_negation(name, self._nullable_attrs(expr.right))
+        elif isinstance(expr, Intersection):
+            nullable = self._nullable_attrs(expr.left) | self._nullable_attrs(expr.right)
+            if nullable:
+                self.emit(
+                    "SA403",
+                    "intersection matches marked nulls by identity over "
+                    f"possibly-null attribute(s) {', '.join(sorted(nullable))}; "
+                    "tuples every completion would equate can fail to match "
+                    "(false negatives only)",
+                    attrs=",".join(sorted(nullable)),
+                    operator="intersection",
+                )
+        # UnifSemiJoin / UnifAntiJoin are the null-safe Definition 4
+        # operators: nothing to flag.
+        for child in expr.children():
+            self.walk(child)
+
+    # ------------------------------------------------------------------
+    def _check_negation(self, what: str, nullable: FrozenSet[str]) -> None:
+        if not nullable:
+            return
+        self.emit(
+            "SA401",
+            f"naive {what} over possibly-null attribute(s) "
+            f"{', '.join(sorted(nullable))}: a match missed on the incomplete "
+            "database can exist under a valuation, so tuples survive the "
+            "negation that are not certain (use the unification variant)",
+            attrs=",".join(sorted(nullable)),
+            operator=what,
+        )
+
+    def _check_condition(
+        self, cond: C.Condition, in_scope: FrozenSet[str], where: str
+    ) -> None:
+        hazard = sorted(C.attrs_in(cond) & in_scope)
+        if not hazard:
+            return
+        tested_attrs: FrozenSet[str] = frozenset()
+        for test in _null_tests_in(cond):
+            tested_attrs |= C.attrs_in(test)
+        tested = sorted(tested_attrs & in_scope)
+        negated = sorted(_negated_attrs(cond) & in_scope)
+        if tested:
+            self.emit(
+                "SA402",
+                f"{where} contains a null test over possibly-null "
+                f"attribute(s) {', '.join(tested)}; its truth flips once the "
+                "null is replaced by a constant",
+                attrs=",".join(tested),
+            )
+        if negated:
+            self.emit(
+                "SA402",
+                f"{where} negates comparisons over possibly-null "
+                f"attribute(s) {', '.join(negated)}; the negation can hold "
+                "naively yet fail under a valuation",
+                attrs=",".join(negated),
+            )
+        if not tested and not negated:
+            self.emit(
+                "SA403",
+                f"{where} filters on possibly-null attribute(s) "
+                f"{', '.join(hazard)}: sound for certainty, but rows every "
+                "completion would keep are dropped (false negatives only)",
+                attrs=",".join(hazard),
+            )

@@ -1,0 +1,35 @@
+"""Entry points of the static query-soundness analyzer."""
+
+from __future__ import annotations
+
+from typing import Optional, Union as TUnion
+
+from repro.analysis.diagnostics import AnalysisReport
+from repro.analysis.walker import QueryAnalyzer
+from repro.data.schema import DatabaseSchema
+from repro.sql import ast
+from repro.sql.parser import parse_sql
+
+__all__ = ["analyze_sql", "analyze_query"]
+
+
+def analyze_sql(sql: str, schema: DatabaseSchema) -> AnalysisReport:
+    """Parse *sql* and analyze it against *schema*.
+
+    Returns an :class:`~repro.analysis.diagnostics.AnalysisReport` whose
+    ``verdict`` is ``certified`` (naive evaluation provably equals the
+    certain answers with nulls), ``suspect`` (no false positives, but
+    the equality can fail in the false-negative or value direction) or
+    ``unsound`` (naive evaluation can return non-certain answers).
+    Syntax errors propagate as :class:`~repro.sql.lexer.SqlSyntaxError`.
+    """
+    return analyze_query(parse_sql(sql), schema, source=sql)
+
+
+def analyze_query(
+    query: TUnion[ast.Query, ast.Select, ast.SetOp],
+    schema: DatabaseSchema,
+    source: Optional[str] = None,
+) -> AnalysisReport:
+    """Analyze an already-parsed query; *source* enables pretty spans."""
+    return QueryAnalyzer(schema, source=source).analyze(ast.query_of(query))

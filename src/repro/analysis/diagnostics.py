@@ -1,0 +1,105 @@
+"""Structured findings produced by the static soundness analyzer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.rules import CERTIFIED, RULES, SUSPECT, UNSOUND
+from repro.sql.ast import Span
+
+__all__ = ["Diagnostic", "AnalysisReport", "severity_rank"]
+
+_SEVERITY_RANK = {CERTIFIED: 0, SUSPECT: 1, UNSOUND: 2}
+
+
+def severity_rank(severity: str) -> int:
+    """Total order on severities: certified < suspect < unsound."""
+    return _SEVERITY_RANK[severity]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a rule, where it fired, and why.
+
+    ``severity`` normally matches the rule's catalog severity but may be
+    *demoted* (e.g. an unsound shape inside a scalar subquery is only
+    ``suspect``, because the engine evaluates the subquery as a black-box
+    constant).  ``context`` carries machine-readable details — column and
+    polarity names, mostly — as a sorted tuple of string pairs so the
+    dataclass stays hashable and JSON output stays stable.
+    """
+
+    rule: str
+    severity: str
+    message: str
+    span: Optional[Span] = None
+    context: Tuple[Tuple[str, str], ...] = ()
+
+    def __post_init__(self):
+        if self.rule not in RULES:
+            raise ValueError(f"unknown rule {self.rule!r}")
+        if self.severity not in (UNSOUND, SUSPECT):
+            raise ValueError(f"bad diagnostic severity {self.severity!r}")
+
+    @property
+    def explanation(self) -> str:
+        return RULES[self.rule].explanation
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "slug": RULES[self.rule].slug,
+            "severity": self.severity,
+            "message": self.message,
+            "span": list(self.span) if self.span is not None else None,
+            "context": {key: value for key, value in self.context},
+        }
+
+
+def _sort_key(diag: Diagnostic) -> Tuple[int, int, str, str]:
+    start, end = diag.span if diag.span is not None else (-1, -1)
+    return (start, end, diag.rule, diag.message)
+
+
+@dataclass
+class AnalysisReport:
+    """All findings for one query, plus the overall verdict.
+
+    ``verdict`` is the worst severity among the diagnostics —
+    ``certified`` when there are none, meaning every construct in the
+    query is valuation-invariant and its naive evaluation equals its
+    certain answers with nulls.
+    """
+
+    source: Optional[str] = None
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def finish(self) -> "AnalysisReport":
+        """Deduplicate and order findings for deterministic output."""
+        self.diagnostics = sorted(set(self.diagnostics), key=_sort_key)
+        return self
+
+    @property
+    def verdict(self) -> str:
+        worst = CERTIFIED
+        for diag in self.diagnostics:
+            if severity_rank(diag.severity) > severity_rank(worst):
+                worst = diag.severity
+        return worst
+
+    @property
+    def unsound(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == UNSOUND]
+
+    def by_rule(self, rule_id: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.rule == rule_id]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "verdict": self.verdict,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }

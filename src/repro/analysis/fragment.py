@@ -1,0 +1,34 @@
+"""Fragment diagnostics backing enriched :class:`RewriteError`\\ s.
+
+:func:`repro.sql.rewrite.rewrite_certain` bails on the *first* construct
+outside its fragment; the analyzer keeps walking.  This module filters
+an analysis down to the findings that locate fragment exits (SA301), so
+a failed rewrite can report *every* offending construct with source
+spans instead of just the one it tripped over.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union as TUnion
+
+from repro.analysis.analyzer import analyze_query
+from repro.analysis.diagnostics import Diagnostic
+from repro.data.schema import DatabaseSchema
+from repro.sql import ast
+
+__all__ = ["fragment_diagnostics"]
+
+
+def fragment_diagnostics(
+    query: TUnion[ast.Query, ast.Select, ast.SetOp],
+    schema: DatabaseSchema,
+) -> List[Diagnostic]:
+    """All SA301 (outside-the-fragment) findings for *query*.
+
+    May be empty even when the rewriter failed: some limits — e.g. views
+    referenced in a negative context — are the rewriter's, not the
+    analyzer's, and the :class:`RewriteError` message itself carries the
+    explanation (and span) for those.
+    """
+    report = analyze_query(query, schema)
+    return report.by_rule("SA301")

@@ -1,0 +1,67 @@
+"""Rendering of analysis reports: human-readable text and stable JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional
+
+from repro.analysis.diagnostics import AnalysisReport, Diagnostic
+from repro.analysis.rules import RULES, UNSOUND
+from repro.sql.lexer import line_col
+
+__all__ = ["render_pretty", "render_json"]
+
+_BADGE = {UNSOUND: "UNSOUND", "suspect": "suspect", "certified": "certified"}
+
+
+def _excerpt(source: str, span, width: int = 78) -> List[str]:
+    """The source line containing the span start, with a caret underline."""
+    start, end = span
+    start = max(0, min(start, len(source)))
+    line_start = source.rfind("\n", 0, start) + 1
+    line_end = source.find("\n", start)
+    if line_end < 0:
+        line_end = len(source)
+    line = source[line_start:line_end].rstrip()
+    offset = start - line_start
+    length = max(1, min(end, line_start + len(line)) - start)
+    if len(line) > width:
+        # Keep the caret visible: trim around the offset.
+        cut = max(0, offset - width // 2)
+        line = line[cut : cut + width]
+        offset -= cut
+    return ["    " + line, "    " + " " * offset + "^" * min(length, max(1, len(line) - offset))]
+
+
+def _render_diag(diag: Diagnostic, source: Optional[str]) -> List[str]:
+    rule = RULES[diag.rule]
+    location = ""
+    if diag.span is not None and source is not None:
+        line, col = line_col(source, diag.span[0])
+        location = f" (line {line}, column {col})"
+    lines = [f"  [{diag.rule} {diag.severity}] {rule.slug}{location}", f"    {diag.message}"]
+    if diag.span is not None and source is not None:
+        lines.extend(_excerpt(source, diag.span))
+    return lines
+
+
+def render_pretty(report: AnalysisReport, name: Optional[str] = None) -> str:
+    """Multi-line human-readable rendering of *report*."""
+    header = f"{name}: " if name else ""
+    lines = [f"{header}verdict: {_BADGE[report.verdict]}"]
+    if not report.diagnostics:
+        lines.append(
+            "  no diagnostics — naive evaluation returns exactly the certain "
+            "answers with nulls"
+        )
+    for diag in report.diagnostics:
+        lines.extend(_render_diag(diag, report.source))
+    return "\n".join(lines)
+
+
+def render_json(report: AnalysisReport, name: Optional[str] = None) -> str:
+    """Deterministic JSON rendering (sorted keys, two-space indent)."""
+    payload = report.to_dict()
+    if name is not None:
+        payload["query"] = name
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,565 @@
+"""The polarity-tracking AST walk behind the soundness analyzer.
+
+The walk mirrors :class:`repro.sql.rewrite._ModeRewriter` — the same
+``+``/``?`` modes of Figure 3, the same :class:`Scope` chain and
+positive-context :func:`forced_nonnull` analysis — but instead of
+*rewriting* conditions it *reports* where naive evaluation and the
+certain-answer semantics can diverge, and it never bails on the first
+problem: resolution failures degrade to SA301 findings and the walk
+continues.
+
+Polarity bookkeeping (``POSITIVE`` = the rewriter's ``+`` mode,
+``NEGATIVE`` = ``?``):
+
+* A predicate at POSITIVE polarity must hold under *every* valuation
+  for the answer to be certain.  SQL's 3VL already only selects ``TRUE``
+  comparisons, which forces the operands non-null — sound, though rows
+  carrying nulls may be dropped when every completion keeps them
+  (SA203).  The exception is ``IS NULL``, whose truth is *not*
+  valuation-invariant (SA104).
+* A predicate at NEGATIVE polarity (inside ``NOT EXISTS``, a ``NOT IN``
+  subquery, or the right operand of ``EXCEPT``) guards a *witness*
+  against the enclosing answer.  A comparison over a possibly-null
+  operand evaluates to UNKNOWN, the witness is missed, and the negation
+  admits a falsifiable answer — the paper's false-positive engine
+  (SA101/SA102/SA103, SA105 when the nullable operand is an unforced
+  outer correlation).
+
+An ``OR x IS NULL`` disjunct sitting next to a comparison at NEGATIVE
+polarity is recognised as the rewriter's own escape: the pair is exactly
+the ``?``-weakened comparison, so the false-positive hazard is gone and
+only the false-negative one remains (demoted to SA203).  Scalar
+subqueries are the paper's black-box constants — the engine evaluates
+them naively once — so findings inside them are demoted to ``suspect``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.analysis.diagnostics import AnalysisReport, Diagnostic
+from repro.analysis.rules import RULES, SUSPECT
+from repro.data.schema import DatabaseSchema
+from repro.sql import ast
+from repro.sql.nullability import Catalog, RewriteError, Scope, columns_in_expr, forced_nonnull
+from repro.sql.rewrite import negate_sql
+
+__all__ = ["POSITIVE", "NEGATIVE", "QueryAnalyzer"]
+
+POSITIVE = "+"
+NEGATIVE = "?"
+
+
+def _flip(polarity: str) -> str:
+    return NEGATIVE if polarity == POSITIVE else POSITIVE
+
+
+def _aggregates_in(expr: ast.SqlExpr) -> Iterator[ast.Aggregate]:
+    if isinstance(expr, ast.Aggregate):
+        yield expr
+    elif isinstance(expr, ast.Concat):
+        for part in expr.parts:
+            yield from _aggregates_in(part)
+
+
+def _scalar_subqueries_in(expr: ast.SqlExpr) -> Iterator[ast.ScalarSubquery]:
+    if isinstance(expr, ast.ScalarSubquery):
+        yield expr
+    elif isinstance(expr, ast.Concat):
+        for part in expr.parts:
+            yield from _scalar_subqueries_in(part)
+    elif isinstance(expr, ast.Aggregate) and expr.arg is not None:
+        yield from _scalar_subqueries_in(expr.arg)
+
+
+class QueryAnalyzer:
+    """Walks one query and accumulates diagnostics into a report."""
+
+    def __init__(self, schema: DatabaseSchema, source: Optional[str] = None):
+        self.catalog = Catalog(schema)
+        self.report = AnalysisReport(source=source)
+        #: >0 while inside a scalar subquery (black-box constant).
+        self._scalar_depth = 0
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def emit(
+        self,
+        rule_id: str,
+        message: str,
+        node: object = None,
+        span: Optional[ast.Span] = None,
+        **context: str,
+    ) -> None:
+        severity = RULES[rule_id].severity
+        if span is None and node is not None:
+            span = getattr(node, "span", None)
+        if self._scalar_depth and severity != SUSPECT:
+            severity = SUSPECT
+            context.setdefault("demoted", "scalar-subquery-black-box")
+            message += (
+                " — demoted to suspect: the construct sits inside a scalar "
+                "subquery, which the engine evaluates as a black-box constant"
+            )
+        self.report.add(
+            Diagnostic(
+                rule=rule_id,
+                severity=severity,
+                message=message,
+                span=span,
+                context=tuple(sorted(context.items())),
+            )
+        )
+
+    def _outside(self, err: RewriteError, fallback_node: object = None) -> None:
+        """Degrade a resolution/fragment failure into an SA301 finding."""
+        node = err.node if err.node is not None else fallback_node
+        self.emit("SA301", str(err), node=node, span=err.span)
+
+    # ------------------------------------------------------------------
+    # Queries and bodies
+    # ------------------------------------------------------------------
+    def analyze(self, query: ast.Query) -> AnalysisReport:
+        for name, sub in query.ctes:
+            self.body(sub.body, None, POSITIVE)
+            try:
+                self.catalog.register_view(name, sub)
+            except RewriteError as err:
+                self._outside(err, sub.body)
+        self.body(query.body, None, POSITIVE)
+        return self.report.finish()
+
+    def body(self, body, outer: Optional[Scope], polarity: str) -> None:
+        if isinstance(body, ast.Select):
+            self.select(body, outer, polarity)
+            return
+        assert isinstance(body, ast.SetOp)
+        # EXCEPT negates its right operand; UNION/INTERSECT do not.
+        right_polarity = _flip(polarity) if body.op == "except" else polarity
+        self.body(body.left.body, outer, polarity)
+        self.body(body.right.body, outer, right_polarity)
+        if not body.all:
+            for side in (body.left.body, body.right.body):
+                nullable = self._nullable_outputs(side)
+                if nullable:
+                    self.emit(
+                        "SA202",
+                        f"{body.op.upper()} compares whole tuples, but output "
+                        f"column(s) {', '.join(sorted(nullable))} may be NULL; "
+                        "SQL collapses nulls as if equal, which no completion "
+                        "has to agree with",
+                        node=body,
+                        columns=",".join(sorted(nullable)),
+                        operator=body.op,
+                    )
+                    break
+
+    def _nullable_outputs(self, body) -> List[str]:
+        """Names of output columns that may carry nulls (best effort)."""
+        if isinstance(body, ast.SetOp):
+            return self._nullable_outputs(body.left.body)
+        assert isinstance(body, ast.Select)
+        try:
+            scope = Scope(body.tables, self.catalog)
+        except RewriteError:
+            return []
+        nullable: List[str] = []
+        for col in body.columns:
+            if isinstance(col, ast.Star):
+                for binding, table in scope.bindings.items():
+                    for name in self.catalog.columns_of(table):
+                        if self.catalog.is_nullable(table, name):
+                            nullable.append(name)
+                continue
+            expr = col.expr
+            if isinstance(expr, ast.ColumnRef):
+                try:
+                    if scope.is_possibly_null(expr):
+                        nullable.append(col.alias or expr.name)
+                except RewriteError:
+                    continue
+            elif isinstance(expr, (ast.Literal, ast.Param)):
+                continue
+            else:
+                # Concats, aggregates and scalar subqueries may be NULL.
+                nullable.append(col.alias or f"column{len(nullable) + 1}")
+        return nullable
+
+    # ------------------------------------------------------------------
+    # SELECT blocks
+    # ------------------------------------------------------------------
+    def select(self, select: ast.Select, outer: Optional[Scope], polarity: str) -> None:
+        try:
+            scope = Scope(select.tables, self.catalog, parent=outer)
+        except RewriteError as err:
+            self._outside(err, select)
+            return
+        if polarity == POSITIVE:
+            forced_nonnull(select.where, scope)
+        self._check_outputs(select, scope)
+        if select.where is not None:
+            self.condition(select.where, scope, polarity)
+
+    def _check_outputs(self, select: ast.Select, scope: Scope) -> None:
+        for col in select.columns:
+            if isinstance(col, ast.Star):
+                continue
+            self._check_expr(col.expr, scope)
+        if select.distinct:
+            nullable = self._nullable_outputs(select)
+            if nullable:
+                self.emit(
+                    "SA202",
+                    "DISTINCT deduplicates over output column(s) "
+                    f"{', '.join(sorted(nullable))} that may be NULL; SQL "
+                    "collapses nulls as if equal, which no completion has to "
+                    "agree with",
+                    node=select,
+                    columns=",".join(sorted(nullable)),
+                    operator="distinct",
+                )
+
+    def _check_expr(self, expr: ast.SqlExpr, scope: Scope) -> None:
+        """Aggregate/scalar-subquery checks shared by outputs and operands."""
+        for agg in _aggregates_in(expr):
+            if agg.arg is None:
+                continue  # COUNT(*) never skips rows for nulls.
+            hazardous = []
+            for column in columns_in_expr(agg.arg):
+                try:
+                    if scope.is_possibly_null(column):
+                        hazardous.append(column.display)
+                except RewriteError as err:
+                    self._outside(err, column)
+            if hazardous:
+                self.emit(
+                    "SA201",
+                    f"{agg.func.upper()} silently drops NULLs of "
+                    f"{', '.join(hazardous)}; its value on the incomplete "
+                    "database need not match any completion",
+                    node=agg,
+                    columns=",".join(hazardous),
+                    function=agg.func,
+                )
+        for sub in _scalar_subqueries_in(expr):
+            self._scalar_depth += 1
+            try:
+                self.body(sub.query.body, scope, POSITIVE)
+            finally:
+                self._scalar_depth -= 1
+
+    # ------------------------------------------------------------------
+    # Conditions
+    # ------------------------------------------------------------------
+    def condition(self, cond: ast.SqlCond, scope: Scope, polarity: str) -> None:
+        if isinstance(cond, ast.BoolOp):
+            if cond.op == "or":
+                self._or_block(cond, scope, polarity)
+            else:
+                for item in cond.items:
+                    self.condition(item, scope, polarity)
+            return
+        if isinstance(cond, ast.NotOp):
+            # negate_sql embeds the negation into the nodes (NOT EXISTS,
+            # flipped operators), so the polarity stays as-is — exactly
+            # what the rewriter does.
+            try:
+                pushed = negate_sql(cond.item)
+            except RewriteError as err:
+                self._outside(err, cond)
+                return
+            self.condition(pushed, scope, polarity)
+            return
+        if isinstance(cond, ast.BoolLiteral):
+            return
+        if isinstance(cond, ast.IsNull):
+            self._null_test(cond, scope, polarity)
+            return
+        if isinstance(cond, ast.Comparison):
+            self._comparison(cond, scope, polarity, escaped=frozenset())
+            return
+        if isinstance(cond, ast.Exists):
+            self._exists(cond, scope, polarity)
+            return
+        if isinstance(cond, ast.InPredicate):
+            self._in_predicate(cond, scope, polarity)
+            return
+        self.emit("SA301", f"cannot analyze condition {cond!r}", node=cond)
+
+    # -- OR blocks and IS NULL escapes ----------------------------------
+    def _or_block(self, cond: ast.BoolOp, scope: Scope, polarity: str) -> None:
+        escapes = frozenset(
+            item.expr
+            for item in cond.items
+            if isinstance(item, ast.IsNull) and not item.negated
+        )
+        used: set = set()
+        for item in cond.items:
+            if isinstance(item, ast.Comparison) and polarity == NEGATIVE:
+                used |= self._comparison(item, scope, polarity, escaped=escapes)
+            elif isinstance(item, ast.Comparison):
+                self._comparison(item, scope, polarity, escaped=frozenset())
+            elif isinstance(item, ast.IsNull) and not item.negated and polarity == NEGATIVE:
+                # Deferred: an escape consumed by a sibling comparison is
+                # part of the weakening and already reported with it.
+                continue
+            else:
+                self.condition(item, scope, polarity)
+        for item in cond.items:
+            if isinstance(item, ast.IsNull) and not item.negated and polarity == NEGATIVE:
+                if item.expr not in used:
+                    self._null_test(item, scope, polarity)
+
+    # -- comparisons -----------------------------------------------------
+    def _comparison(
+        self,
+        comp: ast.Comparison,
+        scope: Scope,
+        polarity: str,
+        escaped: frozenset,
+    ) -> set:
+        """Check one comparison; returns the escape exprs it consumed."""
+        is_like = comp.op in ("like", "not like")
+        used: set = set()
+        for side in (comp.left, comp.right):
+            self._check_expr(side, scope)
+            local_hazard: List[str] = []
+            outer_hazard: List[str] = []
+            for column in columns_in_expr(side):
+                try:
+                    resolved = scope.resolve(column)
+                except RewriteError as err:
+                    self._outside(err, column)
+                    continue
+                if not resolved.scope.catalog.is_nullable(resolved.table, resolved.column):
+                    continue
+                if resolved.key in resolved.scope.forced_nonnull:
+                    continue
+                if resolved.depth > 0:
+                    outer_hazard.append(column.display)
+                else:
+                    local_hazard.append(column.display)
+            hazard = local_hazard + outer_hazard
+            if not hazard:
+                continue
+            if polarity == POSITIVE:
+                self.emit(
+                    "SA203",
+                    f"filter {comp!r} drops rows where "
+                    f"{', '.join(hazard)} is NULL even when every completion "
+                    "would satisfy it (false negatives only)",
+                    node=comp,
+                    columns=",".join(hazard),
+                    op=comp.op,
+                    polarity="positive",
+                )
+                continue
+            # NEGATIVE polarity: the false-positive shapes.
+            if side in escaped:
+                used.add(side)
+                self.emit(
+                    "SA203",
+                    f"comparison {comp!r} is weakened by an OR … IS NULL "
+                    f"escape on {side!r}: sound for certainty, but the block "
+                    "may still drop certain answers (false negatives only)",
+                    node=comp,
+                    columns=",".join(hazard),
+                    op=comp.op,
+                    polarity="negative",
+                    escaped="yes",
+                )
+                continue
+            if outer_hazard:
+                self.emit(
+                    "SA105",
+                    f"correlation {comp!r} references outer column(s) "
+                    f"{', '.join(outer_hazard)} that the outer positive "
+                    "context does not force non-null; when the outer row "
+                    "carries the null the negated block passes vacuously",
+                    node=comp,
+                    columns=",".join(outer_hazard),
+                    op=comp.op,
+                    polarity="negative",
+                )
+            if local_hazard:
+                rule_id = "SA103" if is_like else "SA101"
+                what = "LIKE" if is_like else "comparison"
+                self.emit(
+                    rule_id,
+                    f"{what} {comp!r} sits in a negated block and "
+                    f"{', '.join(local_hazard)} may be NULL: the witness is "
+                    "missed naively but appears under some valuation "
+                    "(false-positive source; needs an OR … IS NULL escape)",
+                    node=comp,
+                    columns=",".join(local_hazard),
+                    op=comp.op,
+                    polarity="negative",
+                )
+        return used
+
+    # -- null tests ------------------------------------------------------
+    def _null_test(self, cond: ast.IsNull, scope: Scope, polarity: str) -> None:
+        # Deliberately *raw* schema nullability, not is_possibly_null:
+        # ``b IS NOT NULL`` forces b itself via forced_nonnull, which
+        # must not talk the test out of its own hazard (every completion
+        # satisfies IS NOT NULL, so naive dropping is a false negative).
+        hazard: List[str] = []
+        for column in columns_in_expr(cond.expr):
+            try:
+                resolved = scope.resolve(column)
+            except RewriteError as err:
+                self._outside(err, column)
+                continue
+            if resolved.scope.catalog.is_nullable(resolved.table, resolved.column):
+                hazard.append(column.display)
+        self._check_expr(cond.expr, scope)
+        if not hazard:
+            # The test is constant (FALSE / TRUE) on non-nullable operands,
+            # hence valuation-invariant.
+            return
+        # Which direction *selects because of the null*?  IS NULL at
+        # positive polarity and IS NOT NULL at negative polarity flip
+        # their truth once nulls are valuated — false positives.  The
+        # dual directions only drop tuples — false negatives.
+        unsound = cond.negated == (polarity == NEGATIVE)
+        if unsound:
+            where = "a negated block" if polarity == NEGATIVE else "a positive context"
+            self.emit(
+                "SA104",
+                f"{cond!r} in {where} holds on the incomplete database but "
+                "flips once the null is replaced by a constant — its truth "
+                "is not valuation-invariant",
+                node=cond,
+                columns=",".join(hazard),
+                polarity="negative" if polarity == NEGATIVE else "positive",
+            )
+        else:
+            self.emit(
+                "SA203",
+                f"{cond!r} drops rows on the incomplete database that every "
+                "completion would keep (false negatives only)",
+                node=cond,
+                columns=",".join(hazard),
+                polarity="negative" if polarity == NEGATIVE else "positive",
+            )
+
+    # -- quantified predicates ------------------------------------------
+    def _exists(self, cond: ast.Exists, scope: Scope, polarity: str) -> None:
+        sub_polarity = _flip(polarity) if cond.negated else polarity
+        query = cond.query
+        if query.ctes:
+            self.emit(
+                "SA301",
+                "WITH inside subqueries is outside the rewritable fragment",
+                node=query.body,
+            )
+            return
+        self.body(query.body, scope, sub_polarity)
+
+    def _in_predicate(self, pred: ast.InPredicate, scope: Scope, polarity: str) -> None:
+        self._check_expr(pred.expr, scope)
+        if pred.values is not None:
+            for value in pred.values:
+                self._check_expr(value, scope)
+            hazard: List[str] = []
+            for expr in (pred.expr,) + pred.values:
+                for column in columns_in_expr(expr):
+                    try:
+                        if scope.is_possibly_null(column):
+                            hazard.append(column.display)
+                    except RewriteError as err:
+                        self._outside(err, column)
+            if not hazard:
+                return
+            if polarity == NEGATIVE:
+                self.emit(
+                    "SA102",
+                    f"membership {pred!r} sits in a negated block and "
+                    f"{', '.join(hazard)} may be NULL: the test is UNKNOWN "
+                    "naively but TRUE under some valuation",
+                    node=pred,
+                    columns=",".join(hazard),
+                    polarity="negative",
+                )
+            else:
+                self.emit(
+                    "SA203",
+                    f"membership {pred!r} drops rows where "
+                    f"{', '.join(hazard)} is NULL even when every completion "
+                    "would satisfy it (false negatives only)",
+                    node=pred,
+                    columns=",".join(hazard),
+                    polarity="positive",
+                )
+            return
+        # Subquery membership.  Unlike EXISTS, IN is three-valued: a
+        # null probe or member makes it UNKNOWN, and UNKNOWN stays
+        # UNKNOWN through NOT — so even ``x NOT IN (…)`` fails closed
+        # at positive polarity (sound, false negatives only).  The
+        # false-positive absorption of UNKNOWN into FALSE happens at an
+        # enclosing NOT EXISTS, i.e. the *current* polarity decides the
+        # membership hazard.  The subquery's own WHERE is a different
+        # story: a filtered-out candidate *shrinks* the member set,
+        # which under NOT IN admits answers — the body evaluates at the
+        # flipped polarity when the predicate is negated.
+        assert pred.query is not None
+        sub_polarity = _flip(polarity) if pred.negated else polarity
+        query = pred.query
+        if query.ctes or not isinstance(query.body, ast.Select):
+            self.emit(
+                "SA301",
+                "IN subquery must be a plain SELECT block",
+                node=pred,
+            )
+            return
+        sub = query.body
+        out_hazard = self._membership_hazard(pred, sub, scope)
+        if out_hazard:
+            if polarity == NEGATIVE:
+                self.emit(
+                    "SA102",
+                    f"membership {pred!r} compares possibly-null "
+                    f"column(s) {', '.join(out_hazard)} under negation: the "
+                    "probe is missed naively but matches under some valuation",
+                    node=pred,
+                    columns=",".join(out_hazard),
+                    polarity="negative",
+                )
+            else:
+                self.emit(
+                    "SA203",
+                    f"membership {pred!r} over possibly-null column(s) "
+                    f"{', '.join(out_hazard)} can miss matches the "
+                    "completions would all make (false negatives only)",
+                    node=pred,
+                    columns=",".join(out_hazard),
+                    polarity="positive",
+                )
+        self.select(sub, scope, sub_polarity)
+
+    def _membership_hazard(
+        self, pred: ast.InPredicate, sub: ast.Select, scope: Scope
+    ) -> List[str]:
+        """Possibly-null columns feeding the implicit membership equality."""
+        hazard: List[str] = []
+        for column in columns_in_expr(pred.expr):
+            try:
+                if scope.is_possibly_null(column):
+                    hazard.append(column.display)
+            except RewriteError as err:
+                self._outside(err, column)
+        if len(sub.columns) == 1 and not isinstance(sub.columns[0], ast.Star):
+            out = sub.columns[0]
+            assert isinstance(out, ast.OutputColumn)
+            try:
+                sub_scope = Scope(sub.tables, self.catalog, parent=scope)
+            except RewriteError:
+                return hazard
+            for column in columns_in_expr(out.expr):
+                try:
+                    if sub_scope.is_possibly_null(column):
+                        hazard.append(column.display)
+                except RewriteError as err:
+                    self._outside(err, column)
+        return hazard

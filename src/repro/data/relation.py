@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
-from repro.data.nulls import Null, is_null
+from repro.data.nulls import is_null
 
 __all__ = ["Relation"]
 

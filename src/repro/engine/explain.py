@@ -14,7 +14,6 @@ from typing import Dict, List, Optional, Tuple, Union as TUnion
 from repro.data.database import Database
 from repro.engine.blocks import (
     CompiledBlock,
-    ExecContext,
     _Bool,
     _Cmp,
     _Cond,
@@ -176,7 +175,6 @@ def explain_sql(
     if isinstance(sql, str):
         sql = parse_sql(sql)
     query = ast.query_of(sql)
-    ctx = ExecContext(db, params)
     sections: List[str] = []
     from repro.engine.executor import Executor  # local import to avoid a cycle
 

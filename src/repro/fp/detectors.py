@@ -29,7 +29,20 @@ __all__ = [
     "detect_q4_false_positive",
     "detector_for",
     "count_false_positives",
+    "ANALYZER_RULES",
 ]
+
+#: Static-analyzer rules (see :mod:`repro.analysis.rules`) whose firing
+#: predicts the false-positive shape each detector exploits: Q1–Q3 are
+#: nullable comparisons under ``NOT EXISTS`` (SA101); Q4 additionally
+#: hinges on ``p_name LIKE`` over a nullable column (SA103).
+#: ``tests/analysis/test_tpch_queries.py`` pins this correspondence.
+ANALYZER_RULES: Dict[str, Tuple[str, ...]] = {
+    "Q1": ("SA101",),
+    "Q2": ("SA101",),
+    "Q3": ("SA101",),
+    "Q4": ("SA101", "SA103"),
+}
 
 Row = Tuple[object, ...]
 
@@ -105,11 +118,8 @@ def detect_q4_false_positive(
 
     i_partkey = lineitem.index_of("l_partkey")
     i_suppkey = lineitem.index_of("l_suppkey")
-    p_key = part.index_of("p_partkey")
     p_name = part.index_of("p_name")
-    s_key = supplier.index_of("s_suppkey")
     s_nat = supplier.index_of("s_nationkey")
-    n_key = nation.index_of("n_nationkey")
     n_name = nation.index_of("n_name")
 
     def part_matches(partkey) -> bool:

@@ -4,6 +4,11 @@ Scalar expressions and predicates are separate hierarchies; queries are
 ``Select`` blocks possibly combined by set operations and prefixed by
 ``WITH`` views.  All nodes are immutable dataclasses, so rewrites build
 new trees (the rewriter relies on structural sharing being safe).
+
+Nodes the parser produces carry an optional ``span`` — ``(start, end)``
+character offsets into the source text — excluded from equality and
+hashing so rewritten trees still compare equal to hand-built ones.
+Trees built programmatically simply leave ``span`` as ``None``.
 """
 
 from __future__ import annotations
@@ -11,7 +16,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Tuple, Union as TUnion
 
+#: ``(start, end)`` character offsets into the SQL source text.
+Span = Tuple[int, int]
+
+
+def _span_field():
+    return field(default=None, compare=False, repr=False)
+
+
 __all__ = [
+    "Span",
     "ColumnRef",
     "Literal",
     "Param",
@@ -48,6 +62,7 @@ class ColumnRef:
 
     name: str
     qualifier: Optional[str] = None
+    span: Optional[Span] = _span_field()
 
     @property
     def display(self) -> str:
@@ -91,6 +106,7 @@ class Aggregate:
 
     func: str  # 'avg' | 'sum' | 'count' | 'min' | 'max'
     arg: Optional["SqlExpr"]
+    span: Optional[Span] = _span_field()
 
     def __repr__(self) -> str:
         return f"{self.func}({'*' if self.arg is None else repr(self.arg)})"
@@ -119,6 +135,7 @@ class Comparison:
     op: str  # '=', '<>', '<', '<=', '>', '>=', 'like', 'not like'
     left: SqlExpr
     right: SqlExpr
+    span: Optional[Span] = _span_field()
 
     def __repr__(self) -> str:
         return f"({self.left!r} {self.op} {self.right!r})"
@@ -128,6 +145,7 @@ class Comparison:
 class IsNull:
     expr: SqlExpr
     negated: bool = False
+    span: Optional[Span] = _span_field()
 
     def __repr__(self) -> str:
         return f"({self.expr!r} IS {'NOT ' if self.negated else ''}NULL)"
@@ -137,6 +155,7 @@ class IsNull:
 class Exists:
     query: "Query"
     negated: bool = False
+    span: Optional[Span] = _span_field()
 
     def __repr__(self) -> str:
         return f"{'NOT ' if self.negated else ''}EXISTS(…)"
@@ -150,6 +169,7 @@ class InPredicate:
     values: Optional[Tuple[SqlExpr, ...]] = None
     query: Optional["Query"] = None
     negated: bool = False
+    span: Optional[Span] = _span_field()
 
     def __post_init__(self):
         if (self.values is None) == (self.query is None):
@@ -186,6 +206,7 @@ class BoolOp:
 @dataclass(frozen=True)
 class NotOp:
     item: "SqlCond"
+    span: Optional[Span] = _span_field()
 
     def __repr__(self) -> str:
         return f"NOT {self.item!r}"
@@ -228,6 +249,7 @@ class OutputColumn:
 class TableRef:
     name: str
     alias: Optional[str] = None
+    span: Optional[Span] = _span_field()
 
     @property
     def binding(self) -> str:
@@ -244,6 +266,7 @@ class Select:
     tables: Tuple[TableRef, ...]
     where: Optional[SqlCond] = None
     distinct: bool = False
+    span: Optional[Span] = _span_field()
 
     def __repr__(self) -> str:
         return (
@@ -262,6 +285,7 @@ class SetOp:
     left: "Query"
     right: "Query"
     all: bool = False
+    span: Optional[Span] = _span_field()
 
     def __post_init__(self):
         if self.op not in ("union", "intersect", "except"):

@@ -2,18 +2,24 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
 
-__all__ = ["Token", "tokenize", "SqlSyntaxError", "KEYWORDS"]
+__all__ = ["Token", "tokenize", "SqlSyntaxError", "KEYWORDS", "line_col"]
+
+
+def line_col(text: str, position: int) -> Tuple[int, int]:
+    """1-based ``(line, column)`` of a character offset into *text*."""
+    line = text.count("\n", 0, position) + 1
+    col = position - (text.rfind("\n", 0, position) + 1) + 1
+    return line, col
 
 
 class SqlSyntaxError(ValueError):
     """Raised on malformed SQL input, with position information."""
 
     def __init__(self, message: str, position: int, text: str):
-        line = text.count("\n", 0, position) + 1
-        col = position - (text.rfind("\n", 0, position) + 1) + 1
+        line, col = line_col(text, position)
         super().__init__(f"{message} at line {line}, column {col}")
         self.position = position
 
@@ -34,6 +40,12 @@ class Token:
     kind: str  # 'keyword' | 'name' | 'number' | 'string' | 'op' | 'param' | 'eof'
     value: object
     position: int
+    #: Offset one past the token's last character (``position`` when unset).
+    end: Optional[int] = field(default=None, compare=False, repr=False)
+
+    @property
+    def stop(self) -> int:
+        return self.position if self.end is None else self.end
 
     def is_keyword(self, word: str) -> bool:
         return self.kind == "keyword" and self.value == word
@@ -79,7 +91,7 @@ def _tokens(text: str) -> Iterator[Token]:
                     break
                 chunks.append(text[j])
                 j += 1
-            yield Token("string", "".join(chunks), i)
+            yield Token("string", "".join(chunks), i, j + 1)
             i = j + 1
             continue
         # Numbers (integer or decimal).
@@ -95,7 +107,7 @@ def _tokens(text: str) -> Iterator[Token]:
                 j += 1
             raw = text[i:j]
             value: object = float(raw) if "." in raw else int(raw)
-            yield Token("number", value, i)
+            yield Token("number", value, i, j)
             i = j
             continue
         # Parameters: $name.
@@ -105,7 +117,7 @@ def _tokens(text: str) -> Iterator[Token]:
                 j += 1
             if j == i + 1:
                 raise SqlSyntaxError("empty parameter name", i, text)
-            yield Token("param", text[i + 1 : j], i)
+            yield Token("param", text[i + 1 : j], i, j)
             i = j
             continue
         # Identifiers and keywords.
@@ -116,17 +128,17 @@ def _tokens(text: str) -> Iterator[Token]:
             word = text[i:j]
             lowered = word.lower()
             if lowered in KEYWORDS:
-                yield Token("keyword", lowered, i)
+                yield Token("keyword", lowered, i, j)
             else:
-                yield Token("name", word.lower(), i)
+                yield Token("name", word.lower(), i, j)
             i = j
             continue
         # Operators / punctuation.
         for op in _OPERATORS:
             if text.startswith(op, i):
-                yield Token("op", "<>" if op == "!=" else op, i)
+                yield Token("op", "<>" if op == "!=" else op, i, i + len(op))
                 i += len(op)
                 break
         else:
             raise SqlSyntaxError(f"unexpected character {ch!r}", i, text)
-    yield Token("eof", None, n)
+    yield Token("eof", None, n, n)

@@ -28,7 +28,24 @@ __all__ = ["Catalog", "Scope", "forced_nonnull", "RewriteError", "columns_in_exp
 
 
 class RewriteError(ValueError):
-    """The query falls outside the rewritable fragment."""
+    """The query falls outside the rewritable fragment.
+
+    Besides the message, the error records *where* the query left the
+    fragment: ``node`` is the offending AST node (when one was at hand)
+    and ``span`` its ``(start, end)`` source offsets — taken from the
+    node when not given explicitly.  ``diagnostics`` is filled by
+    :func:`repro.sql.rewrite.rewrite_certain` with the static analyzer's
+    findings for the same query, so CLI and library callers can report
+    locations uniformly (see :mod:`repro.analysis`).
+    """
+
+    def __init__(self, message, *, node=None, span=None):
+        super().__init__(message)
+        self.node = node
+        if span is None and node is not None:
+            span = getattr(node, "span", None)
+        self.span = span
+        self.diagnostics = []
 
 
 class Catalog:
@@ -127,9 +144,9 @@ class Scope:
         self.forced_nonnull: Set[Tuple[str, str]] = set()
         for ref in tables:
             if ref.binding in self.bindings:
-                raise RewriteError(f"duplicate table binding {ref.binding!r}")
+                raise RewriteError(f"duplicate table binding {ref.binding!r}", node=ref)
             if not catalog.has_table(ref.name):
-                raise RewriteError(f"unknown table {ref.name!r}")
+                raise RewriteError(f"unknown table {ref.name!r}", node=ref)
             self.bindings[ref.binding] = ref.name
 
     def resolve(self, column: ast.ColumnRef, depth: int = 0) -> ResolvedColumn:
@@ -139,7 +156,8 @@ class Scope:
                 if column.name not in self.catalog.columns_of(table):
                     raise RewriteError(
                         f"no column {column.name!r} in table {table!r} "
-                        f"(binding {column.qualifier!r})"
+                        f"(binding {column.qualifier!r})",
+                        node=column,
                     )
                 return ResolvedColumn(self, column.qualifier, table, column.name, depth)
         else:
@@ -149,13 +167,13 @@ class Scope:
                 if column.name in self.catalog.columns_of(table)
             ]
             if len(owners) > 1:
-                raise RewriteError(f"ambiguous column {column.name!r}")
+                raise RewriteError(f"ambiguous column {column.name!r}", node=column)
             if owners:
                 binding, table = owners[0]
                 return ResolvedColumn(self, binding, table, column.name, depth)
         if self.parent is not None:
             return self.parent.resolve(column, depth + 1)
-        raise RewriteError(f"cannot resolve column {column.display!r}")
+        raise RewriteError(f"cannot resolve column {column.display!r}", node=column)
 
     # ------------------------------------------------------------------
     def is_possibly_null(self, column: ast.ColumnRef) -> bool:

@@ -45,6 +45,8 @@ class _Parser:
         self.text = text
         self.tokens = tokenize(text)
         self.pos = 0
+        #: End offset of the most recently consumed token (for spans).
+        self.last_end = 0
 
     # ------------------------------------------------------------------
     # Token plumbing
@@ -56,7 +58,12 @@ class _Parser:
         token = self.tokens[self.pos]
         if token.kind != "eof":
             self.pos += 1
+            self.last_end = token.stop
         return token
+
+    def span_from(self, start: int) -> ast.Span:
+        """Source span from *start* to the last consumed token."""
+        return (start, max(start, self.last_end))
 
     def accept_keyword(self, word: str) -> bool:
         if self.peek().is_keyword(word):
@@ -108,6 +115,7 @@ class _Parser:
         return ast.Query(body=body, ctes=tuple(ctes))
 
     def parse_set_expr(self) -> TUnion[ast.Select, ast.SetOp]:
+        start = self.peek().position
         left: TUnion[ast.Select, ast.SetOp] = self.parse_select_core()
         while True:
             token = self.peek()
@@ -121,11 +129,13 @@ class _Parser:
                     left=ast.query_of(left),
                     right=ast.query_of(right),
                     all=all_flag,
+                    span=self.span_from(start),
                 )
             else:
                 return left
 
     def parse_select_core(self) -> TUnion[ast.Select, ast.SetOp]:
+        start = self.peek().position
         if self.accept_op("("):
             inner = self.parse_set_expr()
             self.expect_op(")")
@@ -145,6 +155,7 @@ class _Parser:
             tables=tuple(tables),
             where=where,
             distinct=distinct,
+            span=self.span_from(start),
         )
 
     def parse_select_list(self) -> List[TUnion[ast.OutputColumn, ast.Star]]:
@@ -163,13 +174,14 @@ class _Parser:
                 return columns
 
     def parse_table_ref(self) -> ast.TableRef:
+        start = self.peek().position
         name = self.expect_name()
         alias = None
         if self.accept_keyword("as"):
             alias = self.expect_name()
         elif self.peek().kind == "name":
             alias = self.expect_name()
-        return ast.TableRef(name=name, alias=alias)
+        return ast.TableRef(name=name, alias=alias, span=self.span_from(start))
 
     # ------------------------------------------------------------------
     # Conditions
@@ -187,19 +199,22 @@ class _Parser:
         return items[0] if len(items) == 1 else ast.BoolOp("and", *items)
 
     def parse_not_condition(self) -> ast.SqlCond:
+        start = self.peek().position
         if self.accept_keyword("not"):
             # NOT EXISTS / NOT IN read better as dedicated nodes.
             if self.peek().is_keyword("exists"):
-                return self._parse_exists(negated=True)
-            return ast.NotOp(self.parse_not_condition())
+                return self._parse_exists(negated=True, start=start)
+            return ast.NotOp(self.parse_not_condition(), span=self.span_from(start))
         return self.parse_predicate()
 
-    def _parse_exists(self, negated: bool) -> ast.Exists:
+    def _parse_exists(self, negated: bool, start: Optional[int] = None) -> ast.Exists:
+        if start is None:
+            start = self.peek().position
         self.expect_keyword("exists")
         self.expect_op("(")
         query = self.parse_query()
         self.expect_op(")")
-        return ast.Exists(query=query, negated=negated)
+        return ast.Exists(query=query, negated=negated, span=self.span_from(start))
 
     def _starts_subquery(self, ahead: int = 0) -> bool:
         token = self.peek(ahead)
@@ -220,20 +235,26 @@ class _Parser:
             cond = self.parse_condition()
             self.expect_op(")")
             return cond
+        start = token.position
         left = self.parse_expr()
-        return self.parse_predicate_tail(left)
+        return self.parse_predicate_tail(left, start)
 
-    def parse_predicate_tail(self, left: ast.SqlExpr) -> ast.SqlCond:
+    def parse_predicate_tail(self, left: ast.SqlExpr, start: Optional[int] = None) -> ast.SqlCond:
+        if start is None:
+            left_span = getattr(left, "span", None)
+            start = left_span[0] if left_span else self.peek().position
         token = self.peek()
         if token.kind == "op" and token.value in _COMPARE_OPS:
             self.advance()
             right = self.parse_expr()
-            return ast.Comparison(op=str(token.value), left=left, right=right)
+            return ast.Comparison(
+                op=str(token.value), left=left, right=right, span=self.span_from(start)
+            )
         if token.is_keyword("is"):
             self.advance()
             negated = self.accept_keyword("not")
             self.expect_keyword("null")
-            return ast.IsNull(expr=left, negated=negated)
+            return ast.IsNull(expr=left, negated=negated, span=self.span_from(start))
         negated = False
         if token.is_keyword("not"):
             self.advance()
@@ -243,7 +264,10 @@ class _Parser:
             self.advance()
             pattern = self.parse_expr()
             return ast.Comparison(
-                op="not like" if negated else "like", left=left, right=pattern
+                op="not like" if negated else "like",
+                left=left,
+                right=pattern,
+                span=self.span_from(start),
             )
         if token.is_keyword("in"):
             self.advance()
@@ -251,12 +275,16 @@ class _Parser:
             if self._starts_subquery():
                 query = self.parse_query()
                 self.expect_op(")")
-                return ast.InPredicate(expr=left, query=query, negated=negated)
+                return ast.InPredicate(
+                    expr=left, query=query, negated=negated, span=self.span_from(start)
+                )
             values = [self.parse_expr()]
             while self.accept_op(","):
                 values.append(self.parse_expr())
             self.expect_op(")")
-            return ast.InPredicate(expr=left, values=tuple(values), negated=negated)
+            return ast.InPredicate(
+                expr=left, values=tuple(values), negated=negated, span=self.span_from(start)
+            )
         self.fail("expected a predicate")
         raise AssertionError  # pragma: no cover
 
@@ -279,6 +307,7 @@ class _Parser:
             return ast.Param(str(token.value))
         if token.kind == "keyword" and token.value in _AGG_FUNCS:
             func = str(token.value)
+            start = token.position
             self.advance()
             self.expect_op("(")
             arg: Optional[ast.SqlExpr]
@@ -287,7 +316,7 @@ class _Parser:
             else:
                 arg = self.parse_expr()
             self.expect_op(")")
-            return ast.Aggregate(func=func, arg=arg)
+            return ast.Aggregate(func=func, arg=arg, span=self.span_from(start))
         if token.kind == "op" and token.value == "(":
             if self._starts_subquery(1):
                 self.advance()
@@ -296,11 +325,12 @@ class _Parser:
                 return ast.ScalarSubquery(query=query)
             self.fail("parenthesised scalar expressions are not supported")
         if token.kind == "name":
+            start = token.position
             first = self.expect_name()
             if self.accept_op("."):
                 second = self.expect_name()
-                return ast.ColumnRef(name=second, qualifier=first)
-            return ast.ColumnRef(name=first)
+                return ast.ColumnRef(name=second, qualifier=first, span=self.span_from(start))
+            return ast.ColumnRef(name=first, span=self.span_from(start))
         self.fail("expected a scalar expression")
         raise AssertionError  # pragma: no cover
 

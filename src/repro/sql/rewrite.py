@@ -131,7 +131,7 @@ def negate_sql(cond: ast.SqlCond) -> ast.SqlCond:
         return cond.item
     if isinstance(cond, ast.BoolLiteral):
         return ast.BoolLiteral(not cond.value)
-    raise RewriteError(f"cannot negate {cond!r}")
+    raise RewriteError(f"cannot negate {cond!r}", node=cond)
 
 
 # ---------------------------------------------------------------------------
@@ -176,7 +176,8 @@ class _ModeRewriter:
             return self._intersect_certain(body, outer)
         raise RewriteError(
             f"{body.op.upper()} in a {'negative' if mode == POSSIBLE else 'positive'} "
-            "context is outside the rewritable fragment"
+            "context is outside the rewritable fragment",
+            node=body,
         )
 
     def _simple_select_columns(self, query: ast.Query, what: str) -> Tuple[ast.Select, List[ast.ColumnRef]]:
@@ -185,12 +186,16 @@ class _ModeRewriter:
         subquery over the other operand's tables."""
         body = query.body
         if query.ctes or not isinstance(body, ast.Select):
-            raise RewriteError(f"{what} operands must be plain SELECT blocks")
+            raise RewriteError(
+                f"{what} operands must be plain SELECT blocks", node=body
+            )
         scope = Scope(body.tables, self.catalog)
         refs: List[ast.ColumnRef] = []
         for col in body.columns:
             if isinstance(col, ast.Star) or not isinstance(col.expr, ast.ColumnRef):
-                raise RewriteError(f"{what} operands must select plain columns")
+                raise RewriteError(
+                    f"{what} operands must select plain columns", node=body
+                )
             resolved = scope.resolve(col.expr)
             refs.append(ast.ColumnRef(name=resolved.column, qualifier=resolved.binding))
         return body, refs
@@ -287,12 +292,13 @@ class _ModeRewriter:
         if mode == POSSIBLE:
             for ref in select.tables:
                 if not self.catalog.has_table(ref.name):
-                    raise RewriteError(f"unknown table {ref.name!r}")
+                    raise RewriteError(f"unknown table {ref.name!r}", node=ref)
                 if ref.name not in self.catalog.schema:
                     raise RewriteError(
                         f"view {ref.name!r} referenced in a negative context; "
                         "views are rewritten for certainty and cannot soundly "
-                        "over-approximate there — inline it first"
+                        "over-approximate there — inline it first",
+                        node=ref,
                     )
         scope = Scope(select.tables, self.catalog, parent=outer)
         if mode == CERTAIN:
@@ -346,7 +352,7 @@ class _ModeRewriter:
             return ast.Exists(rewritten, negated=cond.negated)
         if isinstance(cond, ast.InPredicate):
             return self.in_predicate(cond, scope, mode)
-        raise RewriteError(f"cannot rewrite condition {cond!r}")
+        raise RewriteError(f"cannot rewrite condition {cond!r}", node=cond)
 
     def comparison(self, comp: ast.Comparison, scope: Scope, mode: str) -> ast.SqlCond:
         self._check_operand(comp.left, scope, mode)
@@ -411,10 +417,10 @@ class _ModeRewriter:
         query = pred.query
         assert query is not None
         if query.ctes or not isinstance(query.body, ast.Select):
-            raise RewriteError("IN subquery must be a plain SELECT block")
+            raise RewriteError("IN subquery must be a plain SELECT block", node=pred)
         sub = query.body
         if len(sub.columns) != 1 or isinstance(sub.columns[0], ast.Star):
-            raise RewriteError("IN subquery must select exactly one column")
+            raise RewriteError("IN subquery must select exactly one column", node=pred)
         out = sub.columns[0]
         assert isinstance(out, ast.OutputColumn)
         # Re-qualify outer columns so they cannot be captured by the
@@ -436,7 +442,8 @@ class _ModeRewriter:
             if resolved.binding in sub_scope.bindings:
                 raise RewriteError(
                     f"binding {resolved.binding!r} is shadowed inside the IN "
-                    "subquery; alias one of the tables"
+                    "subquery; alias one of the tables",
+                    node=expr,
                 )
             return ast.ColumnRef(name=resolved.column, qualifier=resolved.binding)
         if isinstance(expr, ast.Concat):
@@ -447,9 +454,11 @@ class _ModeRewriter:
 
     def subquery(self, query: ast.Query, outer: Scope, mode: str) -> ast.Query:
         if query.ctes:
-            raise RewriteError("WITH inside subqueries is not supported")
+            raise RewriteError("WITH inside subqueries is not supported", node=query.body)
         if not isinstance(query.body, ast.Select):
-            raise RewriteError("set operations inside subqueries are not supported")
+            raise RewriteError(
+                "set operations inside subqueries are not supported", node=query.body
+            )
         return ast.Query(body=self.select(query.body, outer, mode))
 
 
@@ -967,15 +976,18 @@ def rewrite_certain(
     query = ast.query_of(query)
     catalog = Catalog(schema)
 
-    rewriter = _ModeRewriter(catalog)
-    user_ctes: List[Tuple[str, ast.Query]] = []
-    for name, sub in query.ctes:
-        body = rewriter.body(sub.body, None, CERTAIN)
-        rewritten_view = ast.Query(body=body)
-        catalog.register_view(name, rewritten_view)
-        user_ctes.append((name, rewritten_view))
+    try:
+        rewriter = _ModeRewriter(catalog)
+        user_ctes: List[Tuple[str, ast.Query]] = []
+        for name, sub in query.ctes:
+            body = rewriter.body(sub.body, None, CERTAIN)
+            rewritten_view = ast.Query(body=body)
+            catalog.register_view(name, rewritten_view)
+            user_ctes.append((name, rewritten_view))
 
-    body = rewriter.body(query.body, None, CERTAIN)
+        body = rewriter.body(query.body, None, CERTAIN)
+    except RewriteError as err:
+        raise _enrich_rewrite_error(err, query, schema)
 
     passes = _StructuralPasses(catalog, options)
     for name, _view in user_ctes:
@@ -983,6 +995,25 @@ def rewrite_certain(
     body = passes.process_body(body, None)
 
     return ast.Query(body=body, ctes=tuple(user_ctes + passes.new_ctes))
+
+
+def _enrich_rewrite_error(
+    err: RewriteError, query: ast.Query, schema: DatabaseSchema
+) -> RewriteError:
+    """Attach static-analyzer fragment diagnostics to a rewrite failure.
+
+    The analyzer walks the whole query without bailing on the first
+    problem, so the enriched error names *every* construct that left the
+    rewritable fragment, each with its source span.  Imported lazily:
+    :mod:`repro.analysis` sits above this module in the layering.
+    """
+    from repro.analysis.fragment import fragment_diagnostics
+
+    try:
+        err.diagnostics = fragment_diagnostics(query, schema)
+    except Exception:  # pragma: no cover - analysis must never mask the error
+        return err
+    return err
 
 
 def rewrite_possible(

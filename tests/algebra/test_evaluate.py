@@ -22,7 +22,6 @@ from repro.algebra import (
     UnifSemiJoin,
     eq,
     evaluate,
-    neq,
 )
 from repro.data import Database, Null, Relation
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.certain.metrics import AnswerComparison, compare_answers, precision, recall
+from repro.certain.metrics import compare_answers, precision, recall
 
 
 class TestPrecisionRecall:

@@ -4,7 +4,6 @@ These tests pin down the *mechanisms* the Section 7 performance story
 rests on, using the engine's ``rows_examined`` instrumentation.
 """
 
-import pytest
 
 from repro.data import Database, Null, Relation
 from repro.engine.blocks import CompiledBlock, ExecContext

@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 
 from repro.experiments.falsepos import run_false_positive_experiment
 from repro.experiments.infeasible import run_infeasibility_experiment

@@ -6,7 +6,7 @@ import time
 import pytest
 
 from repro.experiments import performance
-from repro.experiments.runner import RunReport, TaskFailure, run_tasks
+from repro.experiments.runner import RunReport, run_tasks
 from repro.testing import faults
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sql.parser import parse_condition, parse_sql
+from repro.sql.parser import parse_sql
 from repro.sql.printer import to_sql
 from repro.sql import ast
 

@@ -5,7 +5,6 @@ so its result must contain every answer produced in any possible world
 — checked by enumerating valuations on miniature instances.
 """
 
-import itertools
 import random
 
 import pytest

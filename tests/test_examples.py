@@ -8,6 +8,7 @@ import pytest
 EXAMPLES = [
     "examples/quickstart.py",
     "examples/marked_nulls.py",
+    "examples/lint_queries.py",
 ]
 
 

@@ -29,6 +29,14 @@ def test_all_names_resolve():
         assert getattr(repro, name) is not None
 
 
+def test_promised_names_are_the_package_attributes():
+    assert RewriteOptions is repro.RewriteOptions
+    assert certain_answers_with_nulls is repro.certain_answers_with_nulls
+    assert explain_sql is repro.explain_sql
+    assert translate_improved is repro.translate_improved
+    assert translate_libkin is repro.translate_libkin
+
+
 def test_readme_quickstart():
     db = Database(
         {

@@ -1,6 +1,5 @@
 """DBGen and DataFiller substitutes: sizes, consistency, determinism."""
 
-import datetime
 
 import pytest
 

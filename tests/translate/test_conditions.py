@@ -10,7 +10,6 @@ over small valuation domains:
 
 import itertools
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.algebra.conditions import (

@@ -26,7 +26,7 @@ from repro.algebra.conditions import And, Attr, NullTest
 from repro.certain import certain_answers_with_nulls
 from repro.data import Database, Null, Relation
 from repro.translate.conditions import translate_certain, translate_possible
-from repro.translate.improved import certain_query, possible_query
+from repro.translate.improved import certain_query
 
 R, S = RelationRef("R"), RelationRef("S")
 S_AS_R = Rename(S, {"C": "A", "D": "B"})
@@ -103,7 +103,6 @@ def test_weakest_possible_side_adom_is_still_sound(seed):
     )  # Q?2 = S itself (the rule's output)…
     # …and the truly degenerate version: subtract a relation containing
     # a fully-null tuple, which unifies with every candidate.
-    wild = Null()
     db2 = Database(
         {
             "R": db["R"],
