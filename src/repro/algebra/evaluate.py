@@ -45,6 +45,7 @@ from repro.algebra.expr import (
 )
 from repro.algebra.unify import positionwise_unifiable, unifiable
 from repro.data.database import Database
+from repro.data.nulls import is_null
 from repro.data.relation import Relation
 
 __all__ = ["evaluate", "EvaluationBudgetExceeded", "Evaluator"]
@@ -80,6 +81,9 @@ class Evaluator:
         self._adom_cache: Optional[List[object]] = None
         # Running count of rows materialised, for the Section 5 budget.
         self.rows_produced = 0
+        # Semijoins/antijoins whose condition admitted a hash equi-key
+        # (instrumentation for the hash-matching fast path).
+        self.hash_semijoins = 0
 
     # ------------------------------------------------------------------
     def adom(self) -> List[object]:
@@ -232,6 +236,12 @@ class Evaluator:
             )
         attrs = left.attributes + right.attributes
 
+        decomposed = _equi_decompose(expr.condition, left.attributes, right.attributes)
+        if decomposed is not None:
+            hashed = self._hash_matcher(left, right, attrs, expr.condition, decomposed)
+            if hashed is not None:
+                return left, right, hashed
+
         def matcher(l_row: Tuple[object, ...]) -> bool:
             for r_row in right.rows:
                 if self._selected(expr.condition, dict(zip(attrs, l_row + r_row))):
@@ -239,6 +249,53 @@ class Evaluator:
             return False
 
         return left, right, matcher
+
+    def _hash_matcher(self, left, right, attrs, condition, decomposed):
+        """Hash-partition the right side on the equi-key, or ``None``.
+
+        Sound under both semantics: with ``sql`` 3VL, a null on either
+        side of an ``=`` makes that conjunct UNKNOWN, so null-keyed rows
+        can never satisfy the top-level conjunction and are skipped
+        outright; with ``naive`` semantics marked nulls compare (and
+        hash) by label, so they participate in the table like ordinary
+        values.  Residual conjuncts are re-checked per bucket candidate.
+        """
+        pairs, residual = decomposed
+        l_idx = [left.index_of(a) for a, _ in pairs]
+        r_idx = [right.index_of(b) for _, b in pairs]
+        skip_nulls = self.semantics == "sql"
+        table: Dict[Tuple[object, ...], List[Tuple[object, ...]]] = {}
+        try:
+            for r_row in right.rows:
+                key = tuple(r_row[i] for i in r_idx)
+                if skip_nulls and any(is_null(v) for v in key):
+                    continue
+                table.setdefault(key, []).append(r_row)
+        except TypeError:  # unhashable domain value: keep the nested loop
+            return None
+        self.hash_semijoins += 1
+
+        def matcher(l_row: Tuple[object, ...]) -> bool:
+            key = tuple(l_row[i] for i in l_idx)
+            if skip_nulls and any(is_null(v) for v in key):
+                return False
+            try:
+                bucket = table.get(key, ())
+            except TypeError:
+                # Unhashable probe value: degrade to scanning the right
+                # side with the full original condition.
+                for r_row in right.rows:
+                    if self._selected(condition, dict(zip(attrs, l_row + r_row))):
+                        return True
+                return False
+            if residual is None:
+                return bool(bucket)
+            for r_row in bucket:
+                if self._selected(residual, dict(zip(attrs, l_row + r_row))):
+                    return True
+            return False
+
+        return matcher
 
     def _eval_UnifSemiJoin(self, expr: UnifSemiJoin) -> Relation:
         left = self._eval(expr.left)
@@ -276,6 +333,48 @@ class Evaluator:
         required = set(right.rows)
         rows = [x for x, ys in groups.items() if required <= ys]
         return Relation(keep, rows)
+
+
+def _equi_decompose(
+    cond: C.Condition,
+    left_attrs: Tuple[str, ...],
+    right_attrs: Tuple[str, ...],
+) -> Optional[Tuple[List[Tuple[str, str]], Optional[C.Condition]]]:
+    """Split *cond* into cross-side equality pairs plus a residual.
+
+    Returns ``(pairs, residual)`` where each pair is ``(left_attr,
+    right_attr)`` drawn from a top-level ``attr = attr`` conjunct linking
+    the two sides, and *residual* is the conjunction of everything else
+    (``None`` when nothing remains).  Returns ``None`` when no such pair
+    exists, i.e. the condition offers no hash key.
+    """
+    left_set = set(left_attrs)
+    right_set = set(right_attrs)
+    conjuncts = list(cond.items) if isinstance(cond, C.And) else [cond]
+    pairs: List[Tuple[str, str]] = []
+    residual: List[C.Condition] = []
+    for item in conjuncts:
+        if (
+            isinstance(item, C.Comparison)
+            and item.op == "="
+            and isinstance(item.left, C.Attr)
+            and isinstance(item.right, C.Attr)
+        ):
+            a, b = item.left.name, item.right.name
+            if a in left_set and b in right_set:
+                pairs.append((a, b))
+                continue
+            if b in left_set and a in right_set:
+                pairs.append((b, a))
+                continue
+        residual.append(item)
+    if not pairs:
+        return None
+    if not residual:
+        return pairs, None
+    if len(residual) == 1:
+        return pairs, residual[0]
+    return pairs, C.And(*residual)
 
 
 def evaluate(

@@ -19,6 +19,7 @@ Use :func:`execute_sql` for text or parsed queries, and
 estimates" of Section 7 are visible there for the unsplit ``Q+4``).
 """
 
+from repro.engine.compile import NO_COMPILE_ENV, compile_enabled
 from repro.engine.executor import (
     Executor,
     PreparedQuery,
@@ -47,4 +48,6 @@ __all__ = [
     "ResourceError",
     "QueryTimeout",
     "RowBudgetExceeded",
+    "NO_COMPILE_ENV",
+    "compile_enabled",
 ]

@@ -28,12 +28,21 @@ from repro.algebra.threevl import FALSE, TRUE, UNKNOWN, ThreeValued, from_bool
 from repro.data.nulls import Null, is_null
 from repro.engine.limits import LimitGovernor, ResourceLimits
 from repro.engine.scope import CompileScope, EngineError, Resolution
+from repro.engine.stats import SourceStats, TableBytesMeter, choose_join_order
 from repro.sql import ast
 
 __all__ = ["CompiledBlock", "ExecContext", "compile_block"]
 
 Row = Tuple[object, ...]
 Key = Tuple[str, str]  # (binding, column)
+
+#: Cursor slotmap for rows with no local columns (pre-join conditions).
+_EMPTY_SLOTMAP: Dict[Key, int] = {}
+
+#: Rows per chunk when streaming a filtered single-table scan through
+#: the columnar batch passes (keeps ``EXISTS`` short-circuiting without
+#: materialising the whole filtered table).
+_FILTER_CHUNK = 1024
 
 #: Test-only scan instrumentation installed by :mod:`repro.testing.faults`
 #: (``(table name, relation) -> relation`` wrapper); ``None`` in production,
@@ -52,6 +61,7 @@ class ExecContext:
         memoize_probes: bool = True,
         decorrelate: bool = True,
         limits: Optional[ResourceLimits] = None,
+        compile_predicates: Optional[bool] = None,
     ):
         self.db = db
         self.params = dict(params or {})
@@ -83,6 +93,44 @@ class ExecContext:
         #: decorrelations abandoned because a probe-table build exceeded
         #: ``max_probe_build_rows`` — graceful degradation, not an error
         self.degradations = 0
+        #: lower predicate/expression trees to specialized closures and
+        #: run pushed filters as columnar batch passes (defaults to on;
+        #: the ``REPRO_NO_COMPILE`` env var or ``compile_predicates=False``
+        #: falls back to the interpreted ``eval`` path)
+        if compile_predicates is None:
+            from repro.engine.compile import compile_enabled
+
+            compile_predicates = compile_enabled()
+        self.compile_predicates = compile_predicates
+        #: approximate bytes held by live probe/equi hash tables
+        #: (:class:`~repro.engine.stats.TableBytesMeter` estimates), used
+        #: to enforce ``ResourceLimits.max_probe_table_bytes``
+        self.table_bytes = 0
+        #: registries for :meth:`set_limits` invalidation
+        self._blocks: List["CompiledBlock"] = []
+        self._probe_preds: List[object] = []
+
+    def set_limits(self, limits: Optional[ResourceLimits]) -> None:
+        """Swap the resource limits, invalidating limit-dependent state.
+
+        Lazily-built runtime state bakes the limits in (a probe-table
+        build degrades at ``max_probe_build_rows``, an equi index at
+        ``max_probe_table_bytes``), so changing them drops probe tables,
+        decorrelation decisions and hash indexes; the next run replans
+        under the new caps.  Results are unaffected — only degradation
+        behavior changes.  No-op when the limits compare equal.
+        """
+        if limits == self.limits:
+            return
+        self.limits = limits
+        self.governor = (
+            None if limits is None or limits.unlimited else LimitGovernor(limits)
+        )
+        for pred in self._probe_preds:
+            _reset_decor(pred)
+        for block in self._blocks:
+            block._reset_runtime()
+        self.table_bytes = 0
 
     def arm(self) -> None:
         """Restart the wall-clock deadline (top of each prepared run)."""
@@ -370,6 +418,7 @@ class _Exists(_Cond):
     __slots__ = (
         "block", "negated", "needed", "local_keys", "has_outer",
         "_cache", "decor", "_table", "_memo", "_memo_keys",
+        "_decor0", "_saved_probes",
     )
 
     def __init__(self, block: "CompiledBlock", negated: bool, parent_scope: CompileScope):
@@ -385,6 +434,9 @@ class _Exists(_Cond):
         self._table: Optional[Set[Tuple]] = None
         self._memo: Dict[Tuple, ThreeValued] = {}
         self._memo_keys = tuple(dict.fromkeys(res.key for res in block.external))
+        self._decor0 = self.decor
+        self._saved_probes = None
+        block.ctx._probe_preds.append(self)
 
     def eval(self, cursor, env) -> ThreeValued:
         if not self.block.external:
@@ -422,33 +474,95 @@ class _Exists(_Cond):
         self._memo[memo_key] = result
         return result
 
+    def fast_eval(self, cursor, env) -> ThreeValued:
+        """Compiled entry point: the decorrelated hash probe without the
+        per-call tuple/genexpr allocations of :meth:`eval`.  Every other
+        path (uncorrelated cache, memoized probing) delegates back to
+        the interpreted logic — results and counters are identical by
+        construction."""
+        block = self.block
+        if not block.external:
+            if self._cache is None:
+                self._cache = self._probe({})
+            return self._cache
+        if self.decor is not None:
+            if self._table is None:
+                self._build_table()
+            table = self._table
+            if table is not None:
+                ctx = block.ctx
+                slotmap, row = cursor
+                ctx.decorrelated_probes += 1
+                decor = self.decor
+                if len(decor) == 1:
+                    value = row[slotmap[decor[0][1]]]
+                    if not ctx.marked_nulls and isinstance(value, Null):
+                        found = False
+                    else:
+                        found = (value,) in table
+                else:
+                    probe = tuple(row[slotmap[key]] for _local, key in decor)
+                    if not ctx.marked_nulls and any(
+                        isinstance(v, Null) for v in probe
+                    ):
+                        found = False
+                    else:
+                        found = probe in table
+                return TRUE if found != self.negated else FALSE
+        return self.eval(cursor, env)
+
     def _build_table(self) -> None:
         """One-pass hash semi-join build: inner keys that have witnesses."""
         block = self.block
         if block._order is not None:
             # The block was already planned with its probes baked in
-            # (someone iterated it directly); fall back to memoization.
-            self.decor = None
-            return
+            # (e.g. EXPLAIN prepared it); replan without them.
+            block._reset_runtime()
         ctx = block.ctx
         saved_probes = block.probes
         block.probes = [(k, e) for k, e in block.probes if not e.has_outer]
+        self._saved_probes = saved_probes
         locals_ = tuple(local for local, _key in self.decor)
         marked = ctx.marked_nulls
         cap = None if ctx.limits is None else ctx.limits.max_probe_build_rows
+        byte_cap = None if ctx.limits is None else ctx.limits.max_probe_table_bytes
+        meter = TableBytesMeter()
         before = ctx.rows_examined
         table: Set[Tuple] = set()
+        single = locals_[0] if len(locals_) == 1 else None
+        positions: Optional[Tuple[int, ...]] = None
         for slotmap, row in block.iterate({}):
             if cap is not None and ctx.rows_examined - before > cap:
                 _degrade(self, block, saved_probes, before)
                 return
-            key = tuple(row[slotmap[local]] for local in locals_)
-            if not marked and any(is_null(v) for v in key):
+            # The block yields one shared slotmap; resolve key positions
+            # once and index rows directly from then on.
+            if positions is None:
+                positions = tuple(slotmap[local] for local in locals_)
+            if single is not None:
+                value = row[positions[0]]
+                if not marked and isinstance(value, Null):
+                    continue
+                key = (value,)
+            else:
+                key = tuple(row[p] for p in positions)
+                if not marked and any(is_null(v) for v in key):
+                    continue
+            if key in table:
                 continue
             table.add(key)
+            meter.add(key)
+            if (
+                byte_cap is not None
+                and meter.should_check()
+                and meter.over_budget(ctx.table_bytes, byte_cap)
+            ):
+                _degrade(self, block, saved_probes, before)
+                return
         ctx.probe_build_rows += ctx.rows_examined - before
         ctx.rows_examined = before
         ctx.probe_tables_built += 1
+        ctx.table_bytes += meter.approx_bytes()
         self._table = table
 
     def _probe(self, env) -> ThreeValued:
@@ -460,7 +574,17 @@ class _Exists(_Cond):
 
 
 class _InValues(_Cond):
-    __slots__ = ("expr", "values", "negated", "local_keys", "has_outer", "marked")
+    """``x [NOT] IN (v₁, …)`` with the IN-list pre-partitioned at compile
+    time: hashable non-null constants go into a set probed in O(1) per
+    row (under marked nulls, null constants join the set too — they hash
+    by label); everything else (non-constant expressions, unhashable
+    constants) stays a residual compared per evaluation.  The truth
+    table matches the linear :func:`_membership` scan exactly."""
+
+    __slots__ = (
+        "expr", "values", "negated", "local_keys", "has_outer", "marked",
+        "_const_set", "_has_null_const", "_residual",
+    )
 
     def __init__(
         self, expr: _Expr, values: Sequence[_Expr], negated: bool, marked: bool = False
@@ -471,18 +595,60 @@ class _InValues(_Cond):
         self.local_keys = expr.local_keys
         self.has_outer = expr.has_outer or any(v.has_outer for v in self.values)
         self.marked = marked
+        const_set: Set[object] = set()
+        has_null_const = False
+        residual: List[_Expr] = []
+        for value_expr in self.values:
+            if not isinstance(value_expr, _Const):
+                residual.append(value_expr)
+                continue
+            value = value_expr.value
+            items = value if isinstance(value, (list, tuple)) else (value,)
+            for item in items:
+                if is_null(item):
+                    # A null candidate contributes UNKNOWN on any miss
+                    # (and, under marked nulls, TRUE on a label match —
+                    # caught by the set probe since nulls hash by label).
+                    has_null_const = True
+                    if marked:
+                        const_set.add(item)
+                    continue
+                try:
+                    const_set.add(item)
+                except TypeError:  # unhashable constant
+                    residual.append(_Const(item))
+        self._const_set = const_set
+        self._has_null_const = has_null_const
+        self._residual = tuple(residual)
 
     def eval(self, cursor, env) -> ThreeValued:
         x = self.expr.eval(cursor, env)
-        candidates: List[object] = []
-        for value_expr in self.values:
-            value = value_expr.eval(cursor, env)
-            if isinstance(value, (list, tuple)):
-                candidates.extend(value)  # list-valued parameter
-            else:
-                candidates.append(value)
-        result = _membership(x, candidates, self.marked)
+        result = self._membership_fast(x, cursor, env)
         return ~result if self.negated else result
+
+    def _membership_fast(self, x, cursor, env) -> ThreeValued:
+        const_set = self._const_set
+        if const_set:
+            try:
+                if x in const_set:
+                    return TRUE
+            except TypeError:  # unhashable probe value: linear fallback
+                for value in const_set:
+                    if _compare("=", x, value, self.marked) is TRUE:
+                        return TRUE
+        saw_unknown = self._has_null_const
+        if not saw_unknown and const_set and is_null(x):
+            saw_unknown = True  # null vs. any non-null candidate
+        for value_expr in self._residual:
+            value = value_expr.eval(cursor, env)
+            candidates = value if isinstance(value, (list, tuple)) else (value,)
+            for item in candidates:
+                cmp = _compare("=", x, item, self.marked)
+                if cmp is TRUE:
+                    return TRUE
+                if cmp is UNKNOWN:
+                    saw_unknown = True
+        return UNKNOWN if saw_unknown else FALSE
 
 
 class _InSubquery(_Cond):
@@ -493,6 +659,7 @@ class _InSubquery(_Cond):
     __slots__ = (
         "expr", "block", "out", "negated", "needed", "local_keys", "has_outer",
         "marked", "_cache", "decor", "_table", "_memo", "_memo_keys",
+        "_decor0", "_saved_probes",
     )
 
     def __init__(
@@ -522,6 +689,9 @@ class _InSubquery(_Cond):
         self._table: Optional[Dict[Tuple, List[object]]] = None
         self._memo: Dict[Tuple, List[object]] = {}
         self._memo_keys = tuple(dict.fromkeys(res.key for res in block.external))
+        self._decor0 = self.decor
+        self._saved_probes = None
+        block.ctx._probe_preds.append(self)
 
     def _values(self, env) -> List[object]:
         return [self.out.eval(cursor, env) for cursor in self.block.iterate(env)]
@@ -571,14 +741,18 @@ class _InSubquery(_Cond):
         """One-pass build: inner output values grouped by correlated key."""
         block = self.block
         if block._order is not None:
-            self.decor = None
-            return
+            # Planned with its probes baked in (e.g. EXPLAIN prepared
+            # it); replan without them.
+            block._reset_runtime()
         ctx = block.ctx
         saved_probes = block.probes
         block.probes = [(k, e) for k, e in block.probes if not e.has_outer]
+        self._saved_probes = saved_probes
         locals_ = tuple(local for local, _key in self.decor)
         marked = ctx.marked_nulls
         cap = None if ctx.limits is None else ctx.limits.max_probe_build_rows
+        byte_cap = None if ctx.limits is None else ctx.limits.max_probe_table_bytes
+        meter = TableBytesMeter()
         before = ctx.rows_examined
         table: Dict[Tuple, List[object]] = {}
         for sub_cursor in block.iterate({}):
@@ -589,10 +763,22 @@ class _InSubquery(_Cond):
             key = tuple(sub_row[sub_slotmap[local]] for local in locals_)
             if not marked and any(is_null(v) for v in key):
                 continue
-            table.setdefault(key, []).append(self.out.eval(sub_cursor, {}))
+            bucket = table.get(key)
+            if bucket is None:
+                bucket = table[key] = []
+                meter.add(key)
+                if (
+                    byte_cap is not None
+                    and meter.should_check()
+                    and meter.over_budget(ctx.table_bytes, byte_cap)
+                ):
+                    _degrade(self, block, saved_probes, before)
+                    return
+            bucket.append(self.out.eval(sub_cursor, {}))
         ctx.probe_build_rows += ctx.rows_examined - before
         ctx.rows_examined = before
         ctx.probe_tables_built += 1
+        ctx.table_bytes += meter.approx_bytes()
         self._table = table
 
 
@@ -614,6 +800,25 @@ def _degrade(pred, block: "CompiledBlock", saved_probes, rows_before: int) -> No
     ctx.degradations += 1
     pred.decor = None
     pred._table = None
+    pred._saved_probes = None
+
+
+def _reset_decor(pred) -> None:
+    """Restore a subquery predicate to its pre-decorrelation shape.
+
+    Used by :meth:`ExecContext.set_limits`: probe tables, memo entries
+    and past degradation decisions all baked in the old limits, so the
+    predicate gets its original probes and decorrelation plan back and
+    rebuilds lazily under the new caps.
+    """
+    block = pred.block
+    if pred._saved_probes is not None:
+        block.probes = pred._saved_probes
+        pred._saved_probes = None
+    pred._table = None
+    pred._memo.clear()
+    pred.decor = pred._decor0
+    block._reset_runtime()
 
 
 def _membership(x, values, marked: bool = False) -> ThreeValued:
@@ -669,24 +874,49 @@ class CompiledBlock:
 
         self._compile_where(select.where)
 
+        # Uncorrelated/outer-only residuals (no local keys): computed
+        # eagerly so iterate() can evaluate them *before* any planning
+        # or filtering work — a FALSE short-circuits the whole block
+        # without touching base tables (Q+2's win).
+        self._pre: List[_Cond] = [c for c in self.residuals if not c.local_keys]
+        if ctx.compile_predicates:
+            from repro.engine.compile import compile_cond
+
+            self._pre_fns = [compile_cond(c) for c in self._pre]
+        else:
+            self._pre_fns = [c.eval for c in self._pre]
+
         # Runtime state, built lazily on first iteration.
         self._filtered: Optional[Dict[str, List[Row]]] = None
         self._order: Optional[List[Tuple[str, List[Tuple[int, object]]]]] = None
         self._slotmap: Optional[Dict[Key, int]] = None
-        self._indexes: Dict[Tuple[str, Tuple[str, ...]], Dict[Tuple, List[Row]]] = {}
-        self._pre: List[_Cond] = []
+        self._indexes: Dict[
+            Tuple[str, Tuple[str, ...]], Optional[Dict[Tuple, List[Row]]]
+        ] = {}
         self._attached: Optional[List[List[_Cond]]] = None
+        self._attached_fns: Optional[List[List[object]]] = None
+        self._stats: Optional[Dict[str, SourceStats]] = None
+        self._order_estimates: Optional[List[float]] = None
+        self._step_actual: Optional[List[int]] = None
+        # Compiled batch filter passes, cached per binding (filter sets
+        # are immutable after compilation, so these survive resets).
+        self._passes: Dict[str, List[object]] = {}
+        ctx._blocks.append(self)
 
     def _reset_runtime(self) -> None:
         """Drop lazily-built plan state so the next iteration re-plans
         (used when a degraded probe-table build restores the block's
-        probes after planning stripped them)."""
+        probes after planning stripped them, and by
+        :meth:`ExecContext.set_limits`)."""
         self._filtered = None
         self._order = None
         self._slotmap = None
         self._indexes = {}
-        self._pre = []
         self._attached = None
+        self._attached_fns = None
+        self._stats = None
+        self._order_estimates = None
+        self._step_actual = None
 
     # ------------------------------------------------------------------
     # Compilation
@@ -853,16 +1083,38 @@ class CompiledBlock:
     def _filtered_rows(self, source: _Source) -> List[Row]:
         ctx = self.ctx
         relation = ctx.relation(source.table)
+        rows = relation.rows
         if not source.filters:
-            return relation.rows
+            return rows
+        if ctx.compile_predicates:
+            # Columnar: each pushed conjunct is one batch pass over the
+            # surviving row ids, so later conjuncts only touch rows the
+            # earlier ones kept.  Filter scans stay outside the row
+            # counters (same convention as the interpreted path).
+            ids: Sequence[int] = range(len(rows))
+            for batch_pass in self._batch_passes(source):
+                ctx.check()
+                ids = batch_pass(rows, ids)
+                if not ids:
+                    break
+            return [rows[i] for i in ids]
         slotmap = {(source.binding, col): i for i, col in enumerate(source.columns)}
         kept = []
-        for row in relation.rows:
+        for row in rows:
             ctx.check()
             cursor = (slotmap, row)
             if all(f.eval(cursor, {}) is TRUE for f in source.filters):
                 kept.append(row)
         return kept
+
+    def _batch_passes(self, source: _Source) -> List[object]:
+        passes = self._passes.get(source.binding)
+        if passes is None:
+            from repro.engine.compile import build_batch_passes
+
+            passes = build_batch_passes(source, source.filters)
+            self._passes[source.binding] = passes
+        return passes
 
     def _prepare(self, env_available: bool) -> None:
         if self._order is not None:
@@ -880,30 +1132,30 @@ class CompiledBlock:
         return rows
 
     def _build_order(self, env_available: bool) -> None:
-        # Raw table sizes: good enough for greedy ordering and avoids
-        # materialising filters for blocks that short-circuit early.
-        sizes = {
-            b: len(self.ctx.relation(s.table).rows) for b, s in self.sources.items()
-        }
-        remaining = set(self.sources)
-        bound: Set[str] = set()
-        order: List[str] = []
-
-        def keyed(binding: str) -> bool:
-            if env_available and any(key[0] == binding for key, _ in self.probes):
-                return True
-            return any(
-                (a[0] == binding and b[0] in bound) or (b[0] == binding and a[0] in bound)
-                for a, b in self.equi
+        if len(self.sources) > 1:
+            # Selectivity-driven greedy ordering: score each candidate
+            # from its *filtered* cardinality and the NDV of its usable
+            # equality keys (|R ⋈ S| ≈ |R|·|S| / key NDV).  Multi-table
+            # blocks materialise their filtered rows for hash indexes
+            # anyway, so the statistics pass reuses that work.
+            stats = {b: SourceStats(self._get_filtered(b)) for b in self.sources}
+            positions = {
+                b: {col: i for i, col in enumerate(s.columns)}
+                for b, s in self.sources.items()
+            }
+            order, estimates = choose_join_order(
+                stats, positions, self.probes, self.equi, env_available
             )
-
-        while remaining:
-            keyed_candidates = [b for b in remaining if keyed(b)]
-            pool = keyed_candidates or sorted(remaining)
-            choice = min(pool, key=lambda b: (sizes[b], b))
-            order.append(choice)
-            bound.add(choice)
-            remaining.discard(choice)
+            self._stats = stats
+            self._order_estimates = estimates
+        else:
+            # Single-table blocks stream (EXISTS short-circuits without
+            # materialising the filter), so keep the trivial order and
+            # skip the statistics pass.
+            order = list(self.sources)
+            self._stats = None
+            self._order_estimates = None
+        self._step_actual = [0] * len(order)
 
         # Slot layout follows the join order.
         slotmap: Dict[Key, int] = {}
@@ -938,53 +1190,127 @@ class CompiledBlock:
         for binding, _keys in self._order:
             bound = bound | {binding}
             bound_after.append(set(bound))
-        self._pre = []
         self._attached = [[] for _ in self._order]
         for cond in self.residuals:
             bindings = {binding for binding, _ in cond.local_keys}
             if not bindings:
-                self._pre.append(cond)
-                continue
+                continue  # handled eagerly via self._pre
             for i, have in enumerate(bound_after):
                 if bindings <= have:
                     self._attached[i].append(cond)
                     break
             else:  # pragma: no cover - resolution guarantees coverage
                 raise EngineError("residual references unbound tables")
+        if self.ctx.compile_predicates:
+            from repro.engine.compile import compile_cond
 
-    def _index(self, binding: str, columns: Tuple[str, ...]) -> Dict[Tuple, List[Row]]:
+            self._attached_fns = []
+            for conds in self._attached:
+                nonnull = self._proven_nonnull(conds)
+                self._attached_fns.append(
+                    [compile_cond(c, nonnull) for c in conds]
+                )
+        else:
+            self._attached_fns = [[c.eval for c in conds] for conds in self._attached]
+
+    def _proven_nonnull(self, conds: Sequence[_Cond]) -> frozenset:
+        """Data-driven non-null proofs for the closure compiler: a local
+        column whose *filtered* column vector contains no nulls supports
+        null-check hoisting in the conditions attached to this plan."""
+        if not self._stats:
+            return frozenset()
+        keys: Set[Key] = set()
+        for cond in conds:
+            keys |= cond.local_keys
+        proven: Set[Key] = set()
+        for binding, col in keys:
+            stats = self._stats.get(binding)
+            if stats is None:
+                continue
+            position = self.sources[binding].columns.index(col)
+            if not stats.has_null(position):
+                proven.add((binding, col))
+        return frozenset(proven)
+
+    def _index(
+        self, binding: str, columns: Tuple[str, ...]
+    ) -> Optional[Dict[Tuple, List[Row]]]:
+        """Hash index over the filtered rows, or ``None`` when building
+        it would push ``ExecContext.table_bytes`` past the
+        ``max_probe_table_bytes`` budget (the join then degrades to
+        linear probing via :meth:`_linear_matches` — results identical,
+        counted in ``ctx.degradations``)."""
         cache_key = (binding, columns)
-        index = self._indexes.get(cache_key)
-        if index is None:
-            source = self.sources[binding]
-            positions = [source.columns.index(c) for c in columns]
-            index = {}
-            ctx = self.ctx
-            marked = ctx.marked_nulls
-            for row in self._get_filtered(binding):
-                ctx.check()
-                key = tuple(row[p] for p in positions)
-                if not marked and any(is_null(v) for v in key):
-                    continue  # a null join key can never compare TRUE
-                index.setdefault(key, []).append(row)
-            self._indexes[cache_key] = index
+        index = self._indexes.get(cache_key, _MISSING)
+        if index is not _MISSING:
+            return index
+        source = self.sources[binding]
+        positions = [source.columns.index(c) for c in columns]
+        ctx = self.ctx
+        marked = ctx.marked_nulls
+        byte_cap = None if ctx.limits is None else ctx.limits.max_probe_table_bytes
+        meter = TableBytesMeter()
+        index = {}
+        for row in self._get_filtered(binding):
+            ctx.check()
+            key = tuple(row[p] for p in positions)
+            if not marked and any(is_null(v) for v in key):
+                continue  # a null join key can never compare TRUE
+            bucket = index.get(key)
+            if bucket is None:
+                index[key] = [row]
+                meter.add(key)
+                if (
+                    byte_cap is not None
+                    and meter.should_check()
+                    and meter.over_budget(ctx.table_bytes, byte_cap)
+                ):
+                    ctx.degradations += 1
+                    self._indexes[cache_key] = None
+                    return None
+            else:
+                bucket.append(row)
+        ctx.table_bytes += meter.approx_bytes()
+        self._indexes[cache_key] = index
         return index
+
+    def _linear_matches(
+        self, binding: str, columns: Tuple[str, ...], key: Tuple
+    ) -> List[Row]:
+        """Degraded equi-join probe (hash index over byte budget): scan
+        the filtered rows per probe.  Tuple equality yields the same
+        matches the index would — the probe key is null-free under SQL
+        nulls, and marked nulls compare by label either way."""
+        source = self.sources[binding]
+        positions = [source.columns.index(c) for c in columns]
+        ctx = self.ctx
+        matches = []
+        for row in self._get_filtered(binding):
+            ctx.check()
+            if tuple(row[p] for p in positions) == key:
+                matches.append(row)
+        return matches
 
     def iterate(self, env: Dict[Key, object]) -> Iterator[Tuple[Dict[Key, int], Row]]:
         """Stream result rows as ``(slotmap, flat_tuple)`` cursors."""
+        ctx = self.ctx
+
+        # Uncorrelated/outer-only conditions first: a non-TRUE result
+        # short-circuits the whole block (Q+2's win) before any
+        # planning, filtering or statistics work happens.
+        if self._pre:
+            cursor0 = (_EMPTY_SLOTMAP, ())
+            for fn in self._pre_fns:
+                if fn(cursor0, env) is not TRUE:
+                    return
+
         self._prepare(env_available=bool(self.external) or bool(env) or bool(self.probes))
         assert self._order is not None and self._slotmap is not None
-        assert self._attached is not None
-
-        # Uncorrelated/outer-only conditions: evaluate once per call; a
-        # FALSE or UNKNOWN short-circuits the whole block (Q+2's win).
-        for cond in self._pre:
-            if cond.eval((self._slotmap, ()), env) is not TRUE:
-                return
+        assert self._attached_fns is not None and self._step_actual is not None
 
         slotmap = self._slotmap
-        ctx = self.ctx
-        single = len(self._order) == 1
+        attached_fns = self._attached_fns
+        step_actual = self._step_actual
 
         def rows_for(step_index: int, partial: Row) -> Iterator[Row]:
             binding, keys = self._order[step_index]
@@ -1000,29 +1326,17 @@ class CompiledBlock:
                         probe.append(partial[slotmap[payload]])
                 if not ctx.marked_nulls and any(is_null(v) for v in probe):
                     return iter(())
-                return iter(index.get(tuple(probe), ()))
+                key = tuple(probe)
+                if index is None:  # over the byte budget: linear probe
+                    return iter(self._linear_matches(binding, columns, key))
+                return iter(index.get(key, ()))
             return iter(self._get_filtered(binding))
 
-        def pipeline(step_index: int, partial: Row) -> Iterator[Row]:
-            checks = self._attached[step_index]
-            last = step_index == len(self._order) - 1
-            for row in rows_for(step_index, partial):
-                combined = partial + row
-                ctx.rows_examined += 1
-                ctx.check()
-                cursor = (slotmap, combined)
-                if checks and not all(c.eval(cursor, env) is TRUE for c in checks):
-                    continue
-                if last:
-                    yield cursor
-                else:
-                    yield from pipeline(step_index + 1, combined)
-
-        if single:
+        if len(self._order) == 1:
             # Stream straight off the (possibly filtered) table so that
             # EXISTS probes short-circuit without materialising scans.
             binding, keys = self._order[0]
-            checks = self._attached[0]
+            checks = attached_fns[0]
             if keys:
                 rows: Iterator[Row] = rows_for(0, ())
             else:
@@ -1033,18 +1347,66 @@ class CompiledBlock:
                     rows = iter(ctx.relation(source.table).rows)
             for row in rows:
                 ctx.rows_examined += 1
+                step_actual[0] += 1
                 ctx.check()
                 cursor = (slotmap, row)
-                if checks and not all(c.eval(cursor, env) is TRUE for c in checks):
-                    continue
+                if checks:
+                    ok = True
+                    for fn in checks:
+                        if fn(cursor, env) is not TRUE:
+                            ok = False
+                            break
+                    if not ok:
+                        continue
                 yield cursor
             return
+
+        def pipeline(step_index: int, partial: Row) -> Iterator[Row]:
+            checks = attached_fns[step_index]
+            last = step_index == len(self._order) - 1
+            for row in rows_for(step_index, partial):
+                combined = partial + row
+                ctx.rows_examined += 1
+                step_actual[step_index] += 1
+                ctx.check()
+                cursor = (slotmap, combined)
+                if checks:
+                    ok = True
+                    for fn in checks:
+                        if fn(cursor, env) is not TRUE:
+                            ok = False
+                            break
+                    if not ok:
+                        continue
+                if last:
+                    yield cursor
+                else:
+                    yield from pipeline(step_index + 1, combined)
+
         yield from pipeline(0, ())
 
     def _stream_filtered(self, source: _Source) -> Iterator[Row]:
         ctx = self.ctx
+        rows = ctx.relation(source.table).rows
+        if ctx.compile_predicates:
+            # Chunked columnar filtering: batch passes over a window of
+            # row ids at a time, preserving first-match short-circuits.
+            passes = self._batch_passes(source)
+            total = len(rows)
+            start = 0
+            while start < total:
+                ctx.check()
+                ids: Sequence[int] = range(start, min(start + _FILTER_CHUNK, total))
+                for batch_pass in passes:
+                    ids = batch_pass(rows, ids)
+                    if not ids:
+                        break
+                for i in ids:
+                    yield rows[i]
+                start += _FILTER_CHUNK
+            return
         slotmap = {(source.binding, col): i for i, col in enumerate(source.columns)}
-        for row in ctx.relation(source.table).rows:
+        for row in rows:
             ctx.check()
             cursor = (slotmap, row)
             if all(f.eval(cursor, {}) is TRUE for f in source.filters):

@@ -33,6 +33,11 @@ __all__ = [
     "clear_plan_cache",
 ]
 
+#: Sentinel distinguishing "no limits argument" from ``limits=None``.
+_UNSET_LIMITS = object()
+
+_EMPTY_ENV: Dict[Tuple[str, str], object] = {}
+
 
 class PreparedQuery:
     """A compiled statement bound to one database and parameter set.
@@ -60,6 +65,22 @@ class PreparedQuery:
         self.executor.ctx.arm()
         return self._runner()
 
+    def explain(self) -> str:
+        """Cost-annotated plan for this statement's blocks.
+
+        Includes the chosen join order; when the selectivity-driven
+        planner ran, each step also reports its model-estimated
+        cardinality and — after :meth:`run` — the actual rows the step
+        produced.
+        """
+        from repro.engine.explain import estimate_block
+
+        sections = []
+        for block in self.executor.blocks:
+            plan = estimate_block(block, correlated=False)
+            sections.append(plan.render())
+        return "\n".join(sections)
+
 
 class Executor:
     """Executes parsed queries against a database.
@@ -80,6 +101,7 @@ class Executor:
         memoize_probes: bool = True,
         decorrelate: bool = True,
         limits: Optional[ResourceLimits] = None,
+        compile_predicates: Optional[bool] = None,
     ):
         self.ctx = ExecContext(
             db,
@@ -88,10 +110,27 @@ class Executor:
             memoize_probes=memoize_probes,
             decorrelate=decorrelate,
             limits=limits,
+            compile_predicates=compile_predicates,
         )
+        #: top-level blocks compiled by this executor (explain support)
+        self.blocks: List[CompiledBlock] = []
 
     # ------------------------------------------------------------------
-    def prepare(self, query: TUnion[ast.Query, ast.Select, ast.SetOp]) -> PreparedQuery:
+    def prepare(
+        self,
+        query: TUnion[ast.Query, ast.Select, ast.SetOp],
+        limits: object = _UNSET_LIMITS,
+    ) -> PreparedQuery:
+        """Compile *query* into a re-runnable :class:`PreparedQuery`.
+
+        Passing ``limits=`` swaps the executor's resource limits first:
+        runtime state that baked the old limits in (probe tables,
+        degradation decisions, hash indexes) is invalidated via
+        :meth:`ExecContext.set_limits`, so the statement replans under
+        the new caps instead of reusing stale state.
+        """
+        if limits is not _UNSET_LIMITS:
+            self.ctx.set_limits(limits)  # type: ignore[arg-type]
         query = ast.query_of(query)
         seen = set()
         for name, sub in query.ctes:
@@ -148,14 +187,16 @@ class Executor:
 
     def _plan_select(self, select: ast.Select) -> Callable[[], Relation]:
         block = CompiledBlock(select, self.ctx, parent=None)
+        self.blocks.append(block)
         outputs = self._output_plan(select, block)
         names = tuple(name for name, _getter in outputs)
+        getters = tuple(getter for _name, getter in outputs)
         distinct = select.distinct
 
         def run_select() -> Relation:
             rows = []
             for cursor in block.iterate({}):
-                rows.append(tuple(getter(cursor) for _name, getter in outputs))
+                rows.append(tuple(getter(cursor) for getter in getters))
             if distinct:
                 rows = list(dict.fromkeys(rows))
             return Relation(names, rows)
@@ -183,7 +224,7 @@ class Executor:
                 name = col.expr.func
             else:
                 name = f"column{len(outputs) + 1}"
-            outputs.append((name, _expr_getter(expr)))
+            outputs.append((name, _expr_getter(expr, self.ctx.compile_predicates)))
         return self._dedupe_names(outputs, block)
 
     @staticmethod
@@ -208,7 +249,17 @@ def _slot_getter(key):
     return getter
 
 
-def _expr_getter(expr):
+def _expr_getter(expr, compiled: bool = False):
+    if compiled:
+        from repro.engine.compile import compile_expr
+
+        fn = compile_expr(expr)
+
+        def compiled_getter(cursor):
+            return fn(cursor, _EMPTY_ENV)
+
+        return compiled_getter
+
     def getter(cursor):
         return expr.eval(cursor, {})
 
@@ -290,6 +341,7 @@ def execute_query(
     memoize_probes: bool = True,
     decorrelate: bool = True,
     limits: Optional[ResourceLimits] = None,
+    compile_predicates: Optional[bool] = None,
 ) -> Relation:
     """Execute a parsed query; returns a :class:`Relation`.
 
@@ -301,6 +353,10 @@ def execute_query(
     ``limits`` attaches a deadline/row budget to the run (see
     :mod:`repro.engine.limits`); exceeding a hard cap raises
     :class:`~repro.engine.limits.ResourceError`.
+    ``compile_predicates=False`` (or the ``REPRO_NO_COMPILE`` env var)
+    evaluates predicates through the interpreted ``eval`` tree walk
+    instead of the compiled closures — same results and work counters,
+    used as the differential-testing and benchmarking baseline.
     """
     return Executor(
         db,
@@ -309,6 +365,7 @@ def execute_query(
         memoize_probes=memoize_probes,
         decorrelate=decorrelate,
         limits=limits,
+        compile_predicates=compile_predicates,
     ).execute(ast.query_of(query))
 
 
@@ -320,6 +377,7 @@ def execute_sql(
     memoize_probes: bool = True,
     decorrelate: bool = True,
     limits: Optional[ResourceLimits] = None,
+    compile_predicates: Optional[bool] = None,
 ) -> Relation:
     """Parse (if necessary, through the plan cache) and execute SQL."""
     if isinstance(sql, str):
@@ -332,4 +390,5 @@ def execute_sql(
         memoize_probes=memoize_probes,
         decorrelate=decorrelate,
         limits=limits,
+        compile_predicates=compile_predicates,
     )

@@ -49,15 +49,28 @@ class PlanNode:
         self.est_rows = est_rows
         self.est_cost = est_cost
         self.children = children or []
+        #: cardinality the selectivity-driven join-order model assigned
+        #: to this step (``None`` when the static planner ordered it)
+        self.model_rows: Optional[float] = None
+        #: rows the step actually produced so far (before attached
+        #: residuals), accumulated across runs of the prepared statement
+        self.actual_rows: Optional[int] = None
 
     def total_cost(self) -> float:
         return self.est_cost + sum(child.total_cost() for child in self.children)
 
     def render(self, depth: int = 0) -> str:
         pad = "  " * depth
-        lines = [
-            f"{pad}{self.description}  (rows≈{self.est_rows:.0f}, cost≈{self.est_cost:.0f})"
-        ]
+        line = (
+            f"{pad}{self.description}  "
+            f"(rows≈{self.est_rows:.0f}, cost≈{self.est_cost:.0f})"
+        )
+        if self.model_rows is not None:
+            line += f"  [order est≈{self.model_rows:.0f}"
+            if self.actual_rows is not None:
+                line += f", actual {self.actual_rows}"
+            line += "]"
+        lines = [line]
         for child in self.children:
             lines.append(child.render(depth + 1))
         return "\n".join(lines)
@@ -115,7 +128,12 @@ def estimate_block(block: CompiledBlock, correlated: bool) -> PlanNode:
             how = f"{'scan' if step_index == 0 else 'nested loop'} {source.table}"
         for cond in block._attached[step_index]:
             step_rows *= _cond_selectivity(cond)
-        nodes.append(PlanNode(how, step_rows, step_cost))
+        node = PlanNode(how, step_rows, step_cost)
+        if block._order_estimates is not None:
+            node.model_rows = block._order_estimates[step_index]
+            if block._step_actual is not None:
+                node.actual_rows = block._step_actual[step_index]
+        nodes.append(node)
         current_rows = max(step_rows, 0.001)
         total_cost += step_cost
 

@@ -85,14 +85,29 @@ class ResourceLimits:
         may consume.  Exceeding it abandons decorrelation for that
         subquery (falling back to memoized probing, results unchanged)
         and bumps ``ExecContext.degradations`` instead of raising.
+    ``max_probe_table_bytes``
+        Soft cap on the *cumulative* approximate memory of the probe and
+        equi-join hash tables one execution context holds (tracked on
+        ``ExecContext.table_bytes`` via
+        :class:`~repro.engine.stats.TableBytesMeter`).  A build that
+        would cross the cap degrades gracefully — probe tables fall back
+        to memoized probing, equi-join indexes to linear probing of the
+        filtered rows — with identical results, counted in
+        ``ExecContext.degradations``.
     """
 
     deadline_seconds: Optional[float] = None
     max_rows_examined: Optional[int] = None
     max_probe_build_rows: Optional[int] = None
+    max_probe_table_bytes: Optional[int] = None
 
     def __post_init__(self):
-        for name in ("deadline_seconds", "max_rows_examined", "max_probe_build_rows"):
+        for name in (
+            "deadline_seconds",
+            "max_rows_examined",
+            "max_probe_build_rows",
+            "max_probe_table_bytes",
+        ):
             value = getattr(self, name)
             if value is not None and value < 0:
                 raise ValueError(f"{name} must be non-negative, got {value!r}")
@@ -103,6 +118,7 @@ class ResourceLimits:
             self.deadline_seconds is None
             and self.max_rows_examined is None
             and self.max_probe_build_rows is None
+            and self.max_probe_table_bytes is None
         )
 
 

@@ -1,0 +1,170 @@
+"""The hash fast path for equi-keyed semijoins/antijoins.
+
+``_condition_matcher`` pulls cross-side ``attr = attr`` conjuncts out of
+the condition and hash-partitions the right side on them; these tests
+pin (a) when the fast path engages (the ``hash_semijoins`` counter),
+(b) that it is *exactly* equivalent to the nested-loop matcher under
+both semantics, including null keys and residual conjuncts.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra import AntiJoin, RelationRef, SemiJoin, evaluate
+from repro.algebra import conditions as C
+from repro.algebra.evaluate import Evaluator, _equi_decompose
+from repro.data import Database, Null, Relation
+
+
+def _run(db, expr, semantics):
+    ev = Evaluator(db, semantics=semantics)
+    return ev.evaluate(expr), ev
+
+
+NA = Null("na")  # R's null key
+NB = Null("nb")  # R's null payload
+
+
+@pytest.fixture()
+def db():
+    return Database(
+        {
+            "R": Relation(("A", "B"), [(1, 2), (2, 3), (NA, 4), (3, NB)]),
+            "S": Relation(("X", "Y"), [(1, 9), (Null("nc"), 8), (3, 7)]),
+        }
+    )
+
+
+class TestEquiDecompose:
+    def test_single_equality(self):
+        pairs, residual = _equi_decompose(C.eq("A", "X"), ("A", "B"), ("X", "Y"))
+        assert pairs == [("A", "X")]
+        assert residual is None
+
+    def test_reversed_sides_normalise(self):
+        pairs, residual = _equi_decompose(C.eq("X", "A"), ("A", "B"), ("X", "Y"))
+        assert pairs == [("A", "X")]
+
+    def test_residual_preserved(self):
+        cond = C.And(C.eq("A", "X"), C.Comparison(">", C.Attr("B"), C.Const(1)))
+        pairs, residual = _equi_decompose(cond, ("A", "B"), ("X", "Y"))
+        assert pairs == [("A", "X")]
+        assert residual == C.Comparison(">", C.Attr("B"), C.Const(1))
+
+    def test_same_side_equality_is_residual(self):
+        cond = C.And(C.eq("A", "B"), C.eq("A", "X"))
+        pairs, residual = _equi_decompose(cond, ("A", "B"), ("X", "Y"))
+        assert pairs == [("A", "X")]
+        assert residual == C.eq("A", "B")
+
+    def test_no_key_returns_none(self):
+        assert _equi_decompose(C.eq("A", 1), ("A", "B"), ("X", "Y")) is None
+        assert (
+            _equi_decompose(
+                C.Or(C.eq("A", "X"), C.eq("B", "Y")), ("A", "B"), ("X", "Y")
+            )
+            is None
+        )
+
+
+class TestHashPathEngages:
+    def test_counter_increments_on_equi_key(self, db):
+        expr = SemiJoin(RelationRef("R"), RelationRef("S"), C.eq("A", "X"))
+        out, ev = _run(db, expr, "sql")
+        assert ev.hash_semijoins == 1
+        assert set(out.rows) == {(1, 2), (3, NB)}
+
+    def test_no_counter_without_key(self, db):
+        expr = SemiJoin(
+            RelationRef("R"),
+            RelationRef("S"),
+            C.Comparison("<", C.Attr("A"), C.Attr("X")),
+        )
+        _, ev = _run(db, expr, "sql")
+        assert ev.hash_semijoins == 0
+
+    def test_antijoin_uses_hash_path(self, db):
+        expr = AntiJoin(RelationRef("R"), RelationRef("S"), C.eq("A", "X"))
+        out, ev = _run(db, expr, "sql")
+        assert ev.hash_semijoins == 1
+        # Null-keyed left rows never TRUE-match → survive the antijoin.
+        assert set(out.rows) == {(2, 3), (NA, 4)}
+
+
+class TestNullKeySemantics:
+    def test_sql_null_keys_never_match(self, db):
+        expr = SemiJoin(RelationRef("R"), RelationRef("S"), C.eq("A", "X"))
+        out, _ = _run(db, expr, "sql")
+        assert all(not isinstance(row[0], Null) for row in out.rows)
+
+    def test_naive_nulls_match_by_label(self):
+        n = Null("n1")
+        db = Database(
+            {
+                "R": Relation(("A",), [(n,), (Null("n2"),), (1,)]),
+                "S": Relation(("X",), [(n,), (2,)]),
+            }
+        )
+        expr = SemiJoin(RelationRef("R"), RelationRef("S"), C.eq("A", "X"))
+        out, ev = _run(db, expr, "naive")
+        assert ev.hash_semijoins == 1
+        assert set(out.rows) == {(n,)}
+
+    def test_residual_checked_per_candidate(self, db):
+        cond = C.And(C.eq("A", "X"), C.Comparison(">", C.Attr("Y"), C.Const(8)))
+        expr = SemiJoin(RelationRef("R"), RelationRef("S"), cond)
+        out, ev = _run(db, expr, "sql")
+        assert ev.hash_semijoins == 1
+        assert set(out.rows) == {(1, 2)}  # (3, null) keyed-matches but Y=7 fails
+
+
+def _random_relation(rng, attrs, n):
+    def cell():
+        if rng.random() < 0.3:
+            return Null(f"n{rng.randint(1, 3)}")
+        return rng.choice([1, 2, 3])
+
+    return Relation(attrs, [(cell(), cell()) for _ in range(n)])
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=50, deadline=None)
+def test_hash_path_equals_nested_loop(seed):
+    """Differential: hash matcher ≡ brute-force nested loop, both semantics."""
+    rng = random.Random(seed)
+    db = Database(
+        {
+            "R": _random_relation(rng, ("A", "B"), rng.randint(1, 6)),
+            "S": _random_relation(rng, ("X", "Y"), rng.randint(1, 6)),
+        }
+    )
+    cond = C.And(C.eq("A", "X"), C.Comparison("<>", C.Attr("B"), C.Attr("Y")))
+    for semantics in ("naive", "sql"):
+        for op in (SemiJoin, AntiJoin):
+            expr = op(RelationRef("R"), RelationRef("S"), cond)
+            out, ev = _run(db, expr, semantics)
+            assert ev.hash_semijoins == 1
+            # Brute force over the deduplicated operands.
+            left = db["R"].distinct()
+            right = db["S"].distinct()
+            attrs = left.attributes + right.attributes
+            check = Evaluator(db, semantics=semantics)
+            expected = {
+                l
+                for l in left.rows
+                if any(
+                    check._selected(cond, dict(zip(attrs, l + r)))
+                    for r in right.rows
+                )
+                == (op is SemiJoin)
+            }
+            assert set(out.rows) == expected, (semantics, op.__name__)
+
+
+def test_evaluate_function_still_works(db):
+    out = evaluate(
+        SemiJoin(RelationRef("R"), RelationRef("S"), C.eq("A", "X")), db, "sql"
+    )
+    assert set(out.rows) == {(1, 2), (3, NB)}

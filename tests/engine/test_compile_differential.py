@@ -1,0 +1,339 @@
+"""Differential suite: compiled execution ≡ interpreted execution.
+
+Closure compilation, columnar batch filtering and the compiled output
+getters are pure *mechanism* changes — ``compile_predicates=True`` and
+``False`` must produce bit-identical results (rows *and* row order) and
+bit-identical instrumentation (work counters, degradation decisions),
+in both standard 3VL and marked-null modes.  The stats-driven join
+order deliberately runs in both modes, which is what makes counter
+parity possible; these tests are the enforcement.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.data import Database, Null, Relation
+from repro.engine import ResourceLimits
+from repro.engine.executor import Executor
+from repro.sql.parser import parse_sql
+
+#: Counters that must be flag-independent.  (Wall-clock deadline checks
+#: are excluded by construction: timing is the one thing that differs.)
+COUNTERS = (
+    "rows_examined",
+    "probe_build_rows",
+    "probe_tables_built",
+    "decorrelated_probes",
+    "probe_cache_hits",
+    "probe_cache_misses",
+    "degradations",
+    "table_bytes",
+)
+
+TEMPLATES = [
+    "SELECT a FROM r WHERE a = {c}",
+    "SELECT a, b FROM r WHERE a <> {c} AND b >= {c}",
+    "SELECT a FROM r WHERE a IS NULL OR b = {c}",
+    "SELECT a FROM r WHERE a IN ({c}, {d})",
+    "SELECT a FROM r WHERE a NOT IN ({c}, {d})",
+    "SELECT a FROM r WHERE a IN (SELECT c FROM s)",
+    "SELECT a FROM r WHERE b NOT IN (SELECT d FROM s WHERE s.c = r.a)",
+    "SELECT a FROM r WHERE a IN (SELECT c FROM s WHERE d = r.b)",
+    "SELECT r.a FROM r, s WHERE r.a = s.c",
+    "SELECT r.a FROM r, s WHERE r.b = s.d AND s.c > {c}",
+    "SELECT r.a, t.f FROM r, s, t WHERE r.a = s.c AND s.d = t.e AND t.f = {c}",
+    "SELECT r.a FROM r, s, t WHERE r.a = s.c AND s.d <> t.e",
+    "SELECT a FROM r WHERE EXISTS (SELECT * FROM s WHERE s.c = r.a)",
+    "SELECT a FROM r WHERE NOT EXISTS "
+    "(SELECT * FROM s WHERE s.c = r.a AND s.d <> {c})",
+    "SELECT a FROM r WHERE EXISTS "
+    "(SELECT * FROM s WHERE s.c = r.a AND (s.d = {c} OR s.d IS NULL))",
+    "SELECT a FROM r WHERE NOT EXISTS (SELECT * FROM s WHERE s.c = r.a) "
+    "AND NOT EXISTS (SELECT * FROM s WHERE s.d IS NULL)",
+    "SELECT a || 'x' FROM r WHERE a IS NOT NULL",
+]
+
+
+def random_db(rng: random.Random) -> Database:
+    def cell():
+        if rng.random() < 0.25:
+            return Null()
+        return rng.choice([1, 2, 3])
+
+    def rows(n):
+        return [(cell(), cell()) for _ in range(n)]
+
+    return Database(
+        {
+            "r": Relation(("a", "b"), rows(rng.randint(1, 6))),
+            "s": Relation(("c", "d"), rows(rng.randint(1, 6))),
+            "t": Relation(("e", "f"), rows(rng.randint(1, 6))),
+        }
+    )
+
+
+def run_mode(db, sql, compiled, marked=False, limits=None):
+    executor = Executor(
+        db, marked_nulls=marked, limits=limits, compile_predicates=compiled
+    )
+    result = executor.execute(parse_sql(sql))
+    return result, executor.ctx
+
+
+def assert_bit_identical(db, sql, marked=False, limits=None):
+    compiled, ctx_c = run_mode(db, sql, True, marked=marked, limits=limits)
+    interp, ctx_i = run_mode(db, sql, False, marked=marked, limits=limits)
+    assert compiled.attributes == interp.attributes, sql
+    assert compiled.rows == interp.rows, sql  # includes row order
+    for name in COUNTERS:
+        assert getattr(ctx_c, name) == getattr(ctx_i, name), (name, sql)
+
+
+@pytest.mark.parametrize("template_index", range(len(TEMPLATES)))
+@given(seed=st.integers(0, 10_000), c=st.integers(1, 3), d=st.integers(1, 3))
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_compiled_matches_interpreted(template_index, seed, c, d):
+    sql = TEMPLATES[template_index].format(c=c, d=d)
+    db = random_db(random.Random(seed))
+    assert_bit_identical(db, sql)
+
+
+@pytest.mark.parametrize("template_index", range(len(TEMPLATES)))
+@given(seed=st.integers(0, 10_000), c=st.integers(1, 3), d=st.integers(1, 3))
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_compiled_matches_interpreted_marked_nulls(template_index, seed, c, d):
+    sql = TEMPLATES[template_index].format(c=c, d=d)
+    db = random_db(random.Random(seed))
+    assert_bit_identical(db, sql, marked=True)
+
+
+@given(seed=st.integers(0, 3_000))
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_degradation_points_match_under_build_row_cap(seed):
+    """A tiny probe-build budget degrades at the same point in both modes."""
+    db = random_db(random.Random(seed))
+    sql = "SELECT a FROM r WHERE EXISTS (SELECT * FROM s WHERE s.c = r.a)"
+    limits = ResourceLimits(max_probe_build_rows=1)
+    assert_bit_identical(db, sql, limits=limits)
+
+
+@given(seed=st.integers(0, 3_000))
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_degradation_points_match_under_byte_cap(seed):
+    """A tiny table-byte budget degrades at the same point in both modes."""
+    db = random_db(random.Random(seed))
+    sql = (
+        "SELECT r.a FROM r, s WHERE r.a = s.c "
+        "AND EXISTS (SELECT * FROM t WHERE t.e = r.b)"
+    )
+    limits = ResourceLimits(max_probe_table_bytes=1)
+    assert_bit_identical(db, sql, limits=limits)
+
+
+class TestInListPartition:
+    """``_InValues`` pre-partitions constants into a hash set + residual."""
+
+    @pytest.fixture()
+    def db(self):
+        return Database(
+            {"r": Relation(("a", "b"), [(1, 2), (Null(), 3), (2, Null()), (4, 4)])}
+        )
+
+    @pytest.mark.parametrize("compiled", [True, False])
+    def test_membership_basics(self, db, compiled):
+        result, _ = run_mode(db, "SELECT a FROM r WHERE a IN (1, 2)", compiled)
+        assert result.rows == [(1,), (2,)]
+
+    @pytest.mark.parametrize("compiled", [True, False])
+    def test_null_in_list_makes_misses_unknown(self, db, compiled):
+        # a NOT IN (1, NULL): misses compare UNKNOWN against the null
+        # constant, so nothing survives the negation.
+        executor = Executor(db, {"p": Null()}, compile_predicates=compiled)
+        result = executor.execute(
+            parse_sql("SELECT a FROM r WHERE a NOT IN (1, $p)")
+        )
+        assert result.rows == []
+
+    @pytest.mark.parametrize("compiled", [True, False])
+    def test_null_probe_is_unknown(self, db, compiled):
+        result, _ = run_mode(db, "SELECT a FROM r WHERE a NOT IN (5, 6)", compiled)
+        # The null probe row is UNKNOWN (not TRUE), others pass.
+        assert result.rows == [(1,), (2,), (4,)]
+
+    @pytest.mark.parametrize("compiled", [True, False])
+    def test_list_valued_params_flatten(self, db, compiled):
+        executor = Executor(db, {"lst": [1, 4]}, compile_predicates=compiled)
+        result = executor.execute(parse_sql("SELECT a FROM r WHERE a IN ($lst)"))
+        assert result.rows == [(1,), (4,)]
+
+    @pytest.mark.parametrize("compiled", [True, False])
+    def test_marked_null_const_matches_by_label(self, db, compiled):
+        n = Null("m")
+        db2 = Database({"r": Relation(("a",), [(n,), (Null("k"),), (1,)])})
+        executor = Executor(
+            db2, {"p": n}, marked_nulls=True, compile_predicates=compiled
+        )
+        result = executor.execute(parse_sql("SELECT a FROM r WHERE a IN ($p)"))
+        assert result.rows == [(n,)]
+
+
+class TestByteBudgetDegradation:
+    def _db(self):
+        rows_r = [(i % 50, i % 7) for i in range(300)]
+        rows_s = [(i % 50, i % 11) for i in range(300)]
+        return Database(
+            {
+                "r": Relation(("a", "b"), rows_r),
+                "s": Relation(("c", "d"), rows_s),
+            }
+        )
+
+    @pytest.mark.parametrize("compiled", [True, False])
+    def test_equi_index_degrades_to_linear_probing(self, compiled):
+        db = self._db()
+        sql = "SELECT r.a FROM r, s WHERE r.a = s.c AND r.b = 1"
+        unlimited, _ = run_mode(db, sql, compiled)
+        capped, ctx = run_mode(
+            db, sql, compiled, limits=ResourceLimits(max_probe_table_bytes=1)
+        )
+        assert ctx.degradations > 0
+        assert ctx.table_bytes == 0  # nothing was allowed to materialise
+        assert capped.rows == unlimited.rows
+
+    @pytest.mark.parametrize("compiled", [True, False])
+    def test_probe_table_degrades_to_memoized_probing(self, compiled):
+        db = self._db()
+        sql = "SELECT a FROM r WHERE EXISTS (SELECT * FROM s WHERE s.c = r.a)"
+        unlimited, ctx_u = run_mode(db, sql, compiled)
+        assert ctx_u.decorrelated_probes > 0  # the fast path was in play
+        capped, ctx = run_mode(
+            db, sql, compiled, limits=ResourceLimits(max_probe_table_bytes=1)
+        )
+        assert ctx.degradations > 0
+        assert ctx.decorrelated_probes == 0
+        assert capped.rows == unlimited.rows
+
+    @pytest.mark.parametrize("compiled", [True, False])
+    def test_generous_budget_does_not_degrade(self, compiled):
+        db = self._db()
+        sql = "SELECT r.a FROM r, s WHERE r.a = s.c AND r.b = 1"
+        _, ctx = run_mode(
+            db, sql, compiled, limits=ResourceLimits(max_probe_table_bytes=1 << 30)
+        )
+        assert ctx.degradations == 0
+        assert ctx.table_bytes > 0
+
+
+class TestLimitsInvalidation:
+    def _db(self):
+        rows_r = [(i % 50, i % 7) for i in range(200)]
+        rows_s = [(i % 50, i % 11) for i in range(200)]
+        return Database(
+            {
+                "r": Relation(("a", "b"), rows_r),
+                "s": Relation(("c", "d"), rows_s),
+            }
+        )
+
+    def test_prepare_with_new_limits_replans(self):
+        db = self._db()
+        query = parse_sql(
+            "SELECT a FROM r WHERE EXISTS (SELECT * FROM s WHERE s.c = r.a)"
+        )
+        executor = Executor(db)
+        baseline = executor.prepare(query).run()
+        assert executor.ctx.decorrelated_probes > 0
+        assert executor.ctx.degradations == 0
+
+        # Tighten: the already-built probe table baked in the old limits,
+        # so prepare(limits=...) must drop it and degrade on the rerun.
+        capped = executor.prepare(
+            query, limits=ResourceLimits(max_probe_build_rows=1)
+        ).run()
+        assert executor.ctx.degradations > 0
+        assert capped.rows == baseline.rows
+
+        # Relax back to unlimited: decorrelation comes back.
+        before = executor.ctx.decorrelated_probes
+        relaxed = executor.prepare(query, limits=None).run()
+        assert executor.ctx.decorrelated_probes > before
+        assert relaxed.rows == baseline.rows
+
+    def test_equal_limits_are_a_noop(self):
+        db = self._db()
+        query = parse_sql("SELECT r.a FROM r, s WHERE r.a = s.c AND r.b = 1")
+        limits = ResourceLimits(max_probe_table_bytes=1 << 30)
+        executor = Executor(db, limits=limits)
+        executor.prepare(query).run()
+        bytes_before = executor.ctx.table_bytes
+        assert bytes_before > 0
+        # Same caps (a fresh but equal dataclass): state must survive.
+        executor.prepare(query, limits=ResourceLimits(max_probe_table_bytes=1 << 30))
+        assert executor.ctx.table_bytes == bytes_before
+
+
+class TestJoinOrderAndExplain:
+    def test_small_filtered_side_drives_first(self):
+        rows_r = [(i, i % 3) for i in range(100)]
+        rows_s = [(i, i % 5) for i in range(4)]
+        db = Database(
+            {
+                "r": Relation(("a", "b"), rows_r),
+                "s": Relation(("c", "d"), rows_s),
+            }
+        )
+        executor = Executor(db)
+        prepared = executor.prepare(
+            parse_sql("SELECT r.a FROM r, s WHERE r.a = s.c")
+        )
+        prepared.run()
+        plan = prepared.explain()
+        scan_pos = plan.find("scan s")
+        probe_pos = plan.find("hash probe r")
+        assert scan_pos != -1 and probe_pos != -1, plan
+        assert scan_pos < probe_pos, plan
+
+    def test_explain_reports_estimates_and_actuals(self):
+        db = Database(
+            {
+                "r": Relation(("a", "b"), [(1, 1), (2, 2)]),
+                "s": Relation(("c", "d"), [(1, 1)]),
+            }
+        )
+        executor = Executor(db)
+        prepared = executor.prepare(
+            parse_sql("SELECT r.a FROM r, s WHERE r.a = s.c")
+        )
+        before = prepared.explain()
+        assert "[order est≈" in before
+        prepared.run()
+        after = prepared.explain()
+        assert "actual" in after
+
+    def test_explain_before_run_keeps_decorrelation(self):
+        # explain() prepares inner blocks; that must not silently disable
+        # hash decorrelation for the subsequent run.
+        rows_r = [(i % 20, i % 7) for i in range(100)]
+        rows_s = [(i % 20, i % 11) for i in range(100)]
+        db = Database(
+            {
+                "r": Relation(("a", "b"), rows_r),
+                "s": Relation(("c", "d"), rows_s),
+            }
+        )
+        executor = Executor(db)
+        prepared = executor.prepare(
+            parse_sql(
+                "SELECT a FROM r WHERE EXISTS (SELECT * FROM s WHERE s.c = r.a)"
+            )
+        )
+        prepared.explain()
+        prepared.run()
+        assert executor.ctx.decorrelated_probes > 0
+
+    def test_single_table_keeps_streaming_order(self):
+        db = Database({"r": Relation(("a", "b"), [(3, 1), (1, 2), (2, 3)])})
+        result, _ = run_mode(db, "SELECT a FROM r WHERE a >= 1", True)
+        assert result.rows == [(3,), (1,), (2,)]  # source order preserved
