@@ -1,0 +1,222 @@
+"""Benchmark B6 — what best-first ordering buys an anytime oracle.
+
+``cert(Q, D)`` is coNP-hard, so harnesses run the brute-force searcher
+under deadlines; the exploration order then decides how much of the
+answer a cut recovers.  This bench measures certain-answer recall at
+10% / 25% / 50% of the eager order's full search time, best-first vs
+eager, on a Section 4/7-style ground-truth instance: a selection
+``σ(A0 = A1)`` over a diagonal incomplete relation whose shared null
+makes one tuple per *cert family* certain, prefixed by *junk families*
+— support rows alternating the two nulls that vary **slowest** in the
+world enumeration.  Junk contributes zero certain answers (its row
+fails the selection whenever the two nulls disagree), yet the
+disagreement first appears deep into the world order, so eager
+verification grinds tens of checks into every junk near-miss before
+the rejecting world comes up.  Best-first's sample is strided across
+the whole world list, so its second probe already lands where the
+nulls disagree and refutes each junk candidate on the spot.  The same
+asymmetry repeats inside each cert family: near-miss candidates
+shadowing the certain tuple cost eager hundreds of sequential checks
+but best-first only a couple of probes, so confirmed rows arrive with
+roughly half the spacing even after the junk prefix is cleared.
+
+Deadlines are scoped to the search phase (``deadline_scope="search"``):
+the world-evaluation preamble is a fixed cost both orders pay
+identically before any tuple *can* be confirmed, and its run-to-run
+jitter would otherwise drown the budgets under comparison.  The budget
+base is the median search-phase time of several full eager runs after a
+warmup, each (fraction, order) cell is the median of ``REPEATS`` runs,
+and the allocator-heavy deadline runs execute with the GC paused — a
+collection landing inside a ~40 ms budget would otherwise dominate it.
+
+Results land in ``BENCH_anytime.json`` (uploaded as a CI artifact).
+The acceptance criterion asserted here: at the 25% budget, best-first
+recovers at least 2× the rows of eager.  ``ANYTIME_BENCH_SMOKE=1``
+shrinks the instance and repeats for CI smoke runs, recording results
+without the 2× assertion (smoke budgets are noise-sized).
+"""
+
+import gc
+import itertools
+import json
+import os
+import statistics
+import time
+from pathlib import Path
+
+from repro.algebra import RelationRef, Selection, eq
+from repro.certain import bruteforce, certain_answers_with_nulls, search_summary
+from repro.data import Database, Null, Relation
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_anytime.json"
+
+SMOKE = os.environ.get("ANYTIME_BENCH_SMOKE") == "1"
+FRACTIONS = (0.10, 0.25, 0.50)
+REPEATS = 1 if SMOKE else 5
+BASELINE_RUNS = 1 if SMOKE else 3
+CERT_FAMILIES = 10 if SMOKE else 28
+JUNK_FAMILIES = 2 if SMOKE else 8
+
+
+def anytime_instance(
+    cert_families=CERT_FAMILIES,
+    junk_families=JUNK_FAMILIES,
+    ones=4,
+    tail_width=6,
+    extra_constants=3,
+):
+    """Diagonal ground-truth instance with a deep junk prefix.
+
+    Each family is one support row distinguished by a constant *tail*;
+    cert families repeat one shared null across the selection columns
+    (their diagonal tuple survives every world), junk families alternate
+    the two nulls that sort first — and therefore vary slowest in the
+    world enumeration — so no junk tuple is certain, but the first
+    rejecting world sits tens of checks deep in sequential order.  Junk
+    tails start with a smaller constant so their seeded candidates come
+    first in the deterministic eager order.  ``Z`` pins two extra nulls
+    (widening the per-position candidate pools) and the constant 1
+    (keeping it the first world's image of every null) without touching
+    the queried relation.
+    """
+    n1, n2 = Null("a"), Null("b")
+    pins = [Null("c"), Null("d")]
+    attrs = tuple(f"A{i}" for i in range(ones)) + tuple(
+        f"B{i}" for i in range(tail_width)
+    )
+    tails = itertools.product((5, 6), repeat=tail_width - 1)
+    junk_tails = [(5,) + t for t in itertools.islice(tails, junk_families)]
+    tails = itertools.product((5, 6), repeat=tail_width - 1)
+    cert_tails = [(6,) + t for t in itertools.islice(tails, cert_families)]
+    assert len(junk_tails) == junk_families and len(cert_tails) == cert_families
+    rows = [
+        tuple((n1, n2)[i % 2] for i in range(ones)) + tail
+        for tail in junk_tails
+    ]
+    rows += [(n1,) * ones + tail for tail in cert_tails]
+    db = Database(
+        {
+            "R": Relation(attrs, rows),
+            "Z": Relation(("z1",), [(p,) for p in pins] + [(1,)]),
+        }
+    )
+    return Selection(RelationRef("R"), eq("A0", "A1")), db, extra_constants
+
+
+def timed_search(query, db, extra_constants, order, deadline=None):
+    start = time.monotonic()
+    result = certain_answers_with_nulls(
+        query,
+        db,
+        extra_constants=extra_constants,
+        order=order,
+        deadline=deadline,
+        deadline_scope="search",
+    )
+    elapsed = time.monotonic() - start
+    return result, elapsed, bruteforce.LAST_SEARCH
+
+
+def full_search_baseline(query, db, extra_constants, order):
+    """Full-search result plus the median search-phase time of
+    ``BASELINE_RUNS`` runs — one run's scheduler luck must not set every
+    deadline below."""
+    times = []
+    for _ in range(BASELINE_RUNS):
+        result, elapsed, stats = timed_search(query, db, extra_constants, order)
+        times.append(stats.elapsed - stats.world_elapsed)
+    return result, elapsed, statistics.median(times), stats
+
+
+def deadline_rows(query, db, extra_constants, order, deadline, full_rows):
+    """Row count recovered under ``deadline``, GC paused for the run."""
+    gc.collect()
+    gc.disable()
+    try:
+        partial, _, _ = timed_search(
+            query, db, extra_constants, order, deadline=deadline
+        )
+    finally:
+        gc.enable()
+    assert set(partial.rows) <= full_rows  # sound subset
+    return len(partial.rows)
+
+
+def test_best_first_recall_under_deadlines(benchmark):
+    query, db, extra = anytime_instance()
+
+    def measure():
+        timed_search(query, db, extra, "best-first")  # warm caches
+        full_eager, t_eager, search_budget_base, stats_eager = (
+            full_search_baseline(query, db, extra, "eager")
+        )
+        full_bf, t_bf, _, stats_bf = full_search_baseline(
+            query, db, extra, "best-first"
+        )
+        # Order never changes the complete answer.
+        assert full_bf.attributes == full_eager.attributes
+        assert full_bf.rows == full_eager.rows
+        full_rows = set(full_eager.rows)
+        checkpoints = []
+        for fraction in FRACTIONS:
+            deadline = fraction * search_budget_base
+            cells = {"eager": [], "best-first": []}
+            for _ in range(REPEATS):
+                for order in cells:
+                    cells[order].append(
+                        deadline_rows(query, db, extra, order, deadline, full_rows)
+                    )
+            checkpoints.append(
+                {
+                    "fraction": fraction,
+                    "budget_seconds": round(deadline, 6),
+                    "eager_rows": cells["eager"],
+                    "best_first_rows": cells["best-first"],
+                    "eager_median": statistics.median(cells["eager"]),
+                    "best_first_median": statistics.median(cells["best-first"]),
+                }
+            )
+        return {
+            "mode": "smoke" if SMOKE else "full",
+            "instance": {
+                "cert_families": CERT_FAMILIES,
+                "junk_families": JUNK_FAMILIES,
+                "certain_answers": len(full_rows),
+                "candidates": stats_eager.candidates_considered,
+            },
+            "full_search": {
+                "eager_seconds": round(t_eager, 4),
+                "best_first_seconds": round(t_bf, 4),
+                "world_phase_seconds": round(stats_eager.world_elapsed, 4),
+                "eager": search_summary(stats_eager),
+                "best_first": search_summary(stats_bf),
+            },
+            "checkpoints": checkpoints,
+        }
+
+    data = benchmark.pedantic(measure, rounds=1, iterations=1)
+    ARTIFACT.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+    print()
+    for point in data["checkpoints"]:
+        eager = point["eager_median"]
+        bf = point["best_first_median"]
+        if eager:
+            ratio = f"{bf / eager:.1f}x"
+        else:
+            ratio = "inf" if bf else "n/a"
+        print(
+            f"  {point['fraction']:>4.0%} budget: eager {eager:g} rows,"
+            f" best-first {bf:g} rows ({ratio})"
+        )
+
+    # Every run of either order must stay sound (asserted inline above);
+    # the ordering claim is only meaningful at full scale.
+    if SMOKE:
+        return
+    at_25 = next(p for p in data["checkpoints"] if p["fraction"] == 0.25)
+    assert at_25["best_first_median"] > 0
+    assert at_25["best_first_median"] >= 2 * at_25["eager_median"], (
+        f"best-first recovered {at_25['best_first_median']} rows vs eager's "
+        f"{at_25['eager_median']} at the 25% budget — expected ≥ 2x"
+    )

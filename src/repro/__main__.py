@@ -27,7 +27,11 @@ handled by :mod:`repro.experiments.runner`:
   times with jittered backoff before recording it as failed;
 * ``--checkpoint F``   — JSON file updated after every completed
   instance; re-running with the same file resumes, skipping completed
-  instances.
+  instances;
+* ``--time-budget S``  — whole-run wall-clock budget: a timer thread
+  fires a :class:`~repro.engine.limits.CancelToken` after S seconds and
+  the harness stops at the next instance boundary, printing the partial
+  series (pair with ``--checkpoint`` to resume the remainder later).
 
 Failed instances are reported per point instead of crashing the run.
 """
@@ -36,6 +40,30 @@ from __future__ import annotations
 
 import argparse
 import sys
+
+
+def _armed_budget_token(args):
+    """``(CancelToken, Timer)`` for ``--time-budget``, or ``(None, None)``.
+
+    The timer thread fires the token; the harness notices at its next
+    task boundary.  Caller must cancel the timer when the run finishes
+    first.
+    """
+    if getattr(args, "time_budget", None) is None:
+        return None, None
+    import threading
+
+    from repro.engine.limits import CancelToken
+
+    token = CancelToken()
+    timer = threading.Timer(
+        args.time_budget,
+        token.cancel,
+        kwargs={"reason": f"--time-budget {args.time_budget:g}s expired"},
+    )
+    timer.daemon = True
+    timer.start()
+    return token, timer
 
 
 def _cmd_figure1(args) -> int:
@@ -48,24 +76,36 @@ def _cmd_figure1(args) -> int:
 def _cmd_figure4(args) -> int:
     from repro.experiments import performance
 
-    performance.main(
-        workers=args.workers,
-        task_timeout=args.task_timeout,
-        retries=args.retries,
-        checkpoint=args.checkpoint,
-    )
+    token, timer = _armed_budget_token(args)
+    try:
+        performance.main(
+            workers=args.workers,
+            task_timeout=args.task_timeout,
+            retries=args.retries,
+            checkpoint=args.checkpoint,
+            cancel=token,
+        )
+    finally:
+        if timer is not None:
+            timer.cancel()
     return 0
 
 
 def _cmd_table1(args) -> int:
     from repro.experiments import scaling
 
-    scaling.main(
-        workers=args.workers,
-        task_timeout=args.task_timeout,
-        retries=args.retries,
-        checkpoint=args.checkpoint,
-    )
+    token, timer = _armed_budget_token(args)
+    try:
+        scaling.main(
+            workers=args.workers,
+            task_timeout=args.task_timeout,
+            retries=args.retries,
+            checkpoint=args.checkpoint,
+            cancel=token,
+        )
+    finally:
+        if timer is not None:
+            timer.cancel()
     return 0
 
 
@@ -206,6 +246,16 @@ def build_parser() -> argparse.ArgumentParser:
                 help="JSON file updated after each completed instance; "
                 "re-running with the same file resumes, skipping "
                 "instances already measured",
+            )
+            p.add_argument(
+                "--time-budget",
+                type=float,
+                default=None,
+                metavar="S",
+                help="whole-run wall-clock budget in seconds: a timer "
+                "fires a CancelToken and the harness stops at the next "
+                "instance boundary with partial results (combine with "
+                "--checkpoint to resume later)",
             )
         p.set_defaults(handler=handler)
 

@@ -9,7 +9,14 @@ from repro.certain.bruteforce import (
     false_positives,
     false_negatives,
 )
-from repro.certain.metrics import precision, recall, AnswerComparison, compare_answers
+from repro.certain.metrics import (
+    precision,
+    recall,
+    anytime_recall,
+    search_summary,
+    AnswerComparison,
+    compare_answers,
+)
 
 __all__ = [
     "certain_answers_with_nulls",
@@ -20,6 +27,8 @@ __all__ = [
     "false_negatives",
     "precision",
     "recall",
+    "anytime_recall",
+    "search_summary",
     "AnswerComparison",
     "compare_answers",
     "SearchStats",

@@ -7,6 +7,23 @@ simply enumerates valuations over a sufficient finite domain — viable
 only for the small databases used in tests and in the Section 4/7
 ground-truth comparisons, which is precisely its role.
 
+Because that role includes serving as an *anytime* oracle under harness
+deadlines, the search is **best-first**: each candidate is probed
+against a small sample of worlds, and since any rejecting world is a
+proof of non-certainty, sample survivors stream straight into
+verification while refuted candidates are dropped with a certificate
+(huge pools fall back to value-frequency ordering via
+:mod:`repro.engine.stats`); rejecting worlds are promoted by their
+observed kill rate so doomed survivors die at their first check.
+A tuple is only ever emitted after surviving every world, so a
+deadline- or cancellation-cut result is always a sound subset of
+``cert(Q, D)`` — and a *richer* subset than the eager enumeration
+order yields in the same time.
+``order="eager"`` restores the legacy exploration order for A/B runs;
+``progress=`` streams confirmed tuples as they are found; ``cancel=``
+accepts a :class:`~repro.engine.limits.CancelToken` another thread may
+fire.
+
 The classical null-free certain answers are the null-free tuples of
 ``cert(Q, D)`` (also Section 2), exposed as :func:`certain_answers`.
 """
@@ -14,9 +31,10 @@ The classical null-free certain answers are the null-free tuples of
 from __future__ import annotations
 
 import itertools
+import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.algebra.evaluate import evaluate
 from repro.algebra.expr import Expr
@@ -24,6 +42,8 @@ from repro.data.database import Database
 from repro.data.nulls import is_null
 from repro.data.relation import Relation
 from repro.data.valuation import Valuation, enumerate_valuations
+from repro.engine.limits import CancelToken
+from repro.engine.stats import SourceStats
 
 __all__ = [
     "certain_answers_with_nulls",
@@ -33,10 +53,29 @@ __all__ = [
     "false_positives",
     "false_negatives",
     "SearchStats",
-    "LAST_SEARCH",
+    "LAST_SEARCH",  # noqa: F822 — thread-local, served by module __getattr__
 ]
 
 Row = Tuple[object, ...]
+
+#: Worlds sampled (evenly spaced) to score candidate plausibility.
+SCORE_SAMPLE_WORLDS = 8
+
+#: Cap on the total scoring membership tests one search may spend.  The
+#: per-candidate sample shrinks as the candidate pool grows (down to
+#: frequency-only ordering, then to plain seeding order for huge pools),
+#: keeping the worst-case ordering overhead a small multiple of one
+#: verification sweep.  Scoring is streamed per candidate and early-exits
+#: at the first rejecting sample, so in practice only plausibly-certain
+#: candidates spend their full allowance.
+SCORE_PROBE_BUDGET = 1 << 18
+
+#: Candidates examined between wall-clock reads in the scoring and
+#: verification loops (the first candidate always reads the clock).
+#: Same amortisation idea as ``repro.engine.limits.CHECK_INTERVAL``: a
+#: deadline may overshoot by at most this many candidates' worth of
+#: work, and cancellation latency stays within one interval.
+_CLOCK_EVERY = 32
 
 
 @dataclass
@@ -46,10 +85,28 @@ class SearchStats:
     ``exhaustive_candidates`` is what the unpruned enumeration would have
     considered (``|adom|**arity``); ``candidates_considered`` is what the
     search actually examined; ``world_checks`` counts candidate-vs-world
-    membership tests (each candidate short-circuits at its first
-    rejecting world).  ``complete`` is ``False`` when a ``deadline=``
-    cut the search short (the result is then a sound subset of
-    ``cert(Q, D)``); ``elapsed`` is the wall-clock time of the call.
+    membership tests in the verification loop (each candidate
+    short-circuits at its first rejecting world).  ``complete`` is
+    ``False`` when a ``deadline=`` or a fired ``cancel=`` token cut the
+    search short (the result is then a sound subset of ``cert(Q, D)``);
+    ``cancelled`` distinguishes the token case.  ``elapsed`` is the
+    wall-clock time of the call.
+
+    Best-first ordering counters: ``strategy`` names the exploration
+    order (``"best-first"`` or ``"eager"``); ``sampled_worlds`` is how
+    many worlds the plausibility filter probed; ``score_probes`` counts
+    those scoring membership tests (kept out of ``world_checks`` so the
+    pruning invariants stay comparable across orders);
+    ``sample_refuted`` counts candidates a sampled world rejected — each
+    such probe is a sound refutation certificate, so those candidates
+    skip the verification loop entirely; ``world_reorders`` counts
+    promotions of a killing world to the front of the rejecting-world
+    queue.  ``emitted`` is the number of confirmed
+    tuples streamed (equals the result size).  ``world_elapsed`` is the
+    time spent evaluating the query on every possible world — a fixed
+    preamble both exploration orders pay identically before any tuple
+    *can* be confirmed (no emission without all worlds), so anytime
+    benchmarks budget against ``elapsed - world_elapsed``.
     """
 
     arity: int = 0
@@ -59,10 +116,59 @@ class SearchStats:
     world_checks: int = 0
     complete: bool = True
     elapsed: float = 0.0
+    world_elapsed: float = 0.0
+    strategy: str = "best-first"
+    sampled_worlds: int = 0
+    score_probes: int = 0
+    sample_refuted: int = 0
+    world_reorders: int = 0
+    cancelled: bool = False
+    emitted: int = 0
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-serialisable counter dump (checkpoint/bench payloads)."""
+        return {
+            "strategy": self.strategy,
+            "arity": self.arity,
+            "pruned": self.pruned,
+            "exhaustive_candidates": self.exhaustive_candidates,
+            "candidates_considered": self.candidates_considered,
+            "world_checks": self.world_checks,
+            "score_probes": self.score_probes,
+            "sample_refuted": self.sample_refuted,
+            "sampled_worlds": self.sampled_worlds,
+            "world_reorders": self.world_reorders,
+            "complete": self.complete,
+            "cancelled": self.cancelled,
+            "emitted": self.emitted,
+            "elapsed": self.elapsed,
+            "world_elapsed": self.world_elapsed,
+        }
 
 
-#: Stats of the most recent search (rebound, not mutated, per call).
-LAST_SEARCH = SearchStats()
+class _SearchLog(threading.local):
+    """Per-thread publication slot for the last search's stats.
+
+    Concurrent harness workers each search in their own thread; a
+    module-global would let one worker's stats clobber another's between
+    the search and the read.  Thread-locality keeps the familiar
+    ``bruteforce.LAST_SEARCH`` read (served via module ``__getattr__``)
+    race-free without a lock on the hot path.
+    """
+
+    def __init__(self) -> None:
+        self.stats = SearchStats()
+
+
+_SEARCH_LOG = _SearchLog()
+
+
+def __getattr__(name: str):
+    # PEP 562: ``bruteforce.LAST_SEARCH`` reads this thread's slot, so
+    # parallel searches never observe each other's stats.
+    if name == "LAST_SEARCH":
+        return _SEARCH_LOG.stats
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def _candidate_tuples(db: Database, arity: int, extra: Iterable[Row] = ()) -> Set[Row]:
@@ -81,7 +187,7 @@ def _candidate_tuples(db: Database, arity: int, extra: Iterable[Row] = ()) -> Se
 
 def _seed_candidates(
     db: Database, first_world: Tuple[Valuation, Set[Row]]
-) -> Set[Row]:
+) -> List[Row]:
     """Candidates over ``adom(D)`` whose image lies in the first world's
     answers — the only tuples that can possibly be certain.
 
@@ -91,18 +197,221 @@ def _seed_candidates(
     position of an answer row the candidate may hold any domain element
     mapping to that constant (the constant itself if it is in the
     domain, plus every null ``v`` sends there).
+
+    The returned list is deduplicated in a deterministic generation
+    order — answer rows in canonical sorted order, pool positions in
+    sorted active-domain order — which doubles as the ``"eager"``
+    exploration order.  (Generation order beats a global ``repr`` sort,
+    whose string building dominated seeding on pool-heavy instances.)
     """
     v, rows = first_world
     preimage: Dict[object, List[object]] = {}
     for x in sorted(db.active_domain(), key=repr):
         preimage.setdefault(v(x), []).append(x)
-    candidates: Set[Row] = set()
-    for row in rows:
+    candidates: Dict[Row, None] = {}
+    for row in sorted(rows, key=repr):
         pools = [preimage.get(value) for value in row]
         if any(pool is None for pool in pools):
             continue  # some output constant is outside adom's image
-        candidates.update(itertools.product(*pools))
-    return candidates
+        # dict.fromkeys + update runs the dedup at C speed; new keys keep
+        # product order, repeats keep their first position — exactly the
+        # setdefault semantics, several times faster on big pools.
+        candidates.update(dict.fromkeys(itertools.product(*pools)))
+    return list(candidates)
+
+
+def _world_layout(
+    db: Database,
+) -> List[Tuple[str, Tuple[str, ...], List[Tuple[Row, List[int]]]]]:
+    """Per-relation rows paired with their null positions, computed once.
+
+    Building a possible world is then a few dict probes per incomplete
+    row (complete rows are reused as-is) instead of a generic
+    ``Valuation.apply_database`` traversal — the world-evaluation phase
+    runs once per valuation, so this is the other hot loop of the
+    search.
+    """
+    return [
+        (
+            name,
+            rel.attributes,
+            [
+                (tuple(row), [i for i, value in enumerate(row) if is_null(value)])
+                for row in rel.rows
+            ],
+        )
+        for name, rel in db.relations.items()
+    ]
+
+
+def _apply_world(
+    db: Database,
+    layout: List[Tuple[str, Tuple[str, ...], List[Tuple[Row, List[int]]]]],
+    v: Valuation,
+) -> Database:
+    """``v(D)`` via the precomputed :func:`_world_layout`."""
+    mapping = v.mapping
+    relations: Dict[str, Relation] = {}
+    for name, attrs, rows in layout:
+        patched: List[Row] = []
+        for row, null_pos in rows:
+            if null_pos:
+                image = list(row)
+                for i in null_pos:
+                    image[i] = mapping[row[i]]
+                patched.append(tuple(image))
+            else:
+                patched.append(row)
+        relations[name] = Relation(attrs, patched)
+    return Database(relations, schema=db.schema)
+
+
+def _best_first_stream(
+    candidates: List[Row],
+    worlds: List[Tuple[Valuation, Set[Row]]],
+    stats: "SearchStats",
+    cutoff: Optional[float],
+    cancel: Optional[CancelToken],
+) -> Iterable[Tuple[Row, List[int]]]:
+    """Yield plausible ``(candidate, null_positions)`` pairs, best first.
+
+    Each candidate is probed against an evenly spaced sample of *worlds*
+    until its first rejection.  A candidate admitted by every sampled
+    world — the plausibly-certain kind — is yielded *immediately*, so
+    confirmation starts streaming after microseconds instead of waiting
+    behind a global ordering pass (whose up-front cost would eat exactly
+    the tight-deadline budget the ordering exists to serve).  A
+    candidate a sampled world rejects needs no further attention at all:
+    the probe *is* a world membership test, so the rejecting world is a
+    certificate that the candidate is not certain.  It is counted in
+    ``stats.sample_refuted`` and dropped — the expensive verification
+    loop only ever sees sample survivors.
+
+    The sample shrinks as the candidate pool grows so total probes stay
+    under :data:`SCORE_PROBE_BUDGET` (early exit keeps the spend far
+    lower in practice).  When even one probe per candidate is over
+    budget, no refutation certificates are affordable; every candidate
+    must be verified, and a frequency signal over the first world's
+    answer columns orders them instead (via
+    :class:`~repro.engine.stats.SourceStats` — values that NDV says
+    recur across many answers are more likely to survive than one-off
+    combinations), null-free candidates first within equal frequency (a
+    null-free candidate needs only its fixed image in every world, while
+    a null-bearing one survives only if the database *forces* its nulls
+    — much rarer), ties keeping seeding order for determinism (candidate
+    tuples, which may mix nulls and constants, are never compared to
+    each other).
+
+    Either way no candidate is ever dropped *unexamined*, so soundness
+    and completeness are untouched.  After a deadline or cancellation
+    hit the remainder streams unscored in seeding order — the
+    verification loop is about to stop at its own check anyway.
+    """
+    n = len(candidates)
+    if not worlds or n <= 1:
+        for candidate in candidates:
+            yield candidate, [
+                i for i, value in enumerate(candidate) if is_null(value)
+            ]
+        return
+    sample_size = min(
+        SCORE_SAMPLE_WORLDS,
+        len(worlds),
+        SCORE_PROBE_BUDGET // n,
+    )
+    out_of_budget = False
+    position = 0
+    ticks = _CLOCK_EVERY  # first candidate reads the clock
+    if sample_size <= 0:
+        # Frequency-ordered fallback for huge pools: a global scoring
+        # pass at a dict probe per position, no world probes.
+        arity = stats.arity
+        first_rows = SourceStats(list(worlds[0][1]))
+        frequency: List[Dict[object, int]] = []
+        ndv_weight: List[int] = []
+        for pos in range(arity):
+            counts: Dict[object, int] = {}
+            if len(first_rows):
+                for value in first_rows.column(pos):
+                    counts[value] = counts.get(value, 0) + 1
+            frequency.append(counts)
+            # Recurring values in a high-NDV (discriminating) column say
+            # more about survival odds than ones everybody shares.
+            ndv_weight.append(first_rows.ndv(pos) if len(first_rows) else 1)
+        v0_map = worlds[0][0].mapping
+        scored: List[Tuple[Tuple[int, int], Row, List[int]]] = []
+        for position, candidate in enumerate(candidates):
+            if cancel is not None and cancel.cancelled:
+                out_of_budget = True
+            elif cutoff is not None:
+                ticks += 1
+                if ticks >= _CLOCK_EVERY:
+                    ticks = 0
+                    if time.monotonic() > cutoff:
+                        out_of_budget = True
+            if out_of_budget:
+                break
+            null_pos = [
+                i for i, value in enumerate(candidate) if is_null(value)
+            ]
+            freq = sum(
+                frequency[i].get(v0_map.get(candidate[i], candidate[i]), 0)
+                * ndv_weight[i]
+                for i in range(arity)
+            )
+            scored.append(((len(null_pos), -freq), candidate, null_pos))
+        # Stable sort on the score alone: ties deterministically keep
+        # the seeding order the candidates arrived in.
+        scored.sort(key=lambda entry: entry[0])
+        for _score, candidate, null_pos in scored:
+            yield candidate, null_pos
+        if out_of_budget:
+            for candidate in candidates[position:]:
+                yield candidate, [
+                    i for i, value in enumerate(candidate) if is_null(value)
+                ]
+        return
+    step = max(1, len(worlds) // sample_size)
+    sample = worlds[::step][:sample_size]
+    stats.sampled_worlds = full = len(sample)
+    for position, candidate in enumerate(candidates):
+        if cancel is not None and cancel.cancelled:
+            out_of_budget = True
+        elif cutoff is not None:
+            ticks += 1
+            if ticks >= _CLOCK_EVERY:
+                ticks = 0
+                if time.monotonic() > cutoff:
+                    out_of_budget = True
+        if out_of_budget:
+            break
+        null_pos = [i for i, value in enumerate(candidate) if is_null(value)]
+        hits = 0
+        if null_pos:
+            image = list(candidate)
+            for v, rows in sample:
+                stats.score_probes += 1
+                mapping = v.mapping
+                for i in null_pos:
+                    image[i] = mapping[candidate[i]]
+                if tuple(image) not in rows:
+                    break
+                hits += 1
+        else:
+            for _v, rows in sample:
+                stats.score_probes += 1
+                if candidate not in rows:
+                    break
+                hits += 1
+        if hits == full:
+            yield candidate, null_pos
+        else:
+            stats.sample_refuted += 1
+    if out_of_budget:
+        for candidate in candidates[position:]:
+            yield candidate, [
+                i for i, value in enumerate(candidate) if is_null(value)
+            ]
 
 
 def certain_answers_with_nulls(
@@ -112,6 +421,10 @@ def certain_answers_with_nulls(
     extra_constants: Optional[int] = None,
     prune: bool = True,
     deadline: Optional[float] = None,
+    deadline_scope: str = "call",
+    order: str = "best-first",
+    progress: Optional[Callable[[Row, "SearchStats"], None]] = None,
+    cancel: Optional[CancelToken] = None,
 ) -> Relation:
     """``cert(Q, D)`` by explicit valuation enumeration.
 
@@ -127,22 +440,60 @@ def certain_answers_with_nulls(
     (``prune=False``), which is kept for cross-checking.  Search effort
     is reported in :data:`LAST_SEARCH`.
 
+    ``order`` picks the exploration order.  ``"best-first"`` (default)
+    verifies plausible candidates first — scored by survival in a small
+    world sample plus answer-frequency signals — and promotes rejecting
+    worlds by kill rate; ``"eager"`` keeps the deterministic seeding
+    order (answer-row-major, pool-minor).
+    The *returned* relation lists confirmed tuples in the canonical
+    sorted order either way, so complete searches are row-identical
+    across orders; the exploration order only decides *which* sound
+    subset survives a cut.
+
     ``deadline`` (seconds) makes the search *anytime*: when the budget
     runs out, the sound subset of certain answers confirmed so far is
     returned — a tuple is only ever emitted after surviving **every**
     world, so partial results contain no false positives (they may miss
-    certain answers).  ``LAST_SEARCH.complete`` records whether the
-    search finished; ``LAST_SEARCH.elapsed`` the time it took.
+    certain answers).  ``deadline_scope`` says what the budget covers:
+    ``"call"`` (default) counts from call entry, ``"search"`` starts the
+    clock after the world-evaluation preamble — a fixed cost both
+    exploration orders pay identically before any tuple *can* be
+    confirmed, whose run-to-run jitter would otherwise drown tight
+    budgets (anytime benchmarks compare orders this way).  ``cancel``
+    accepts a
+    :class:`~repro.engine.limits.CancelToken`; a token fired from
+    another thread stops the search at its next candidate or world
+    check, with the same sound-subset result and
+    ``LAST_SEARCH.cancelled = True``.  ``LAST_SEARCH.complete`` records
+    whether the search finished; ``LAST_SEARCH.elapsed`` the time it
+    took.
+
+    ``progress`` is called as ``progress(row, stats)`` the moment each
+    tuple is *confirmed* certain (in exploration order, not the final
+    sorted order), so callers see an ever-growing sound subset instead
+    of one terminal dump.
     """
-    global LAST_SEARCH
+    if order not in ("best-first", "eager"):
+        raise ValueError(f"unknown search order {order!r}")
+    if deadline_scope not in ("call", "search"):
+        raise ValueError(f"unknown deadline scope {deadline_scope!r}")
     start = time.monotonic()
-    cutoff = None if deadline is None else start + deadline
+    search_scoped = deadline_scope == "search"
+    # A search-scoped budget leaves the world preamble unmetered; its
+    # cutoff is fixed only once the preamble's actual cost is known.
+    cutoff = None if deadline is None or search_scoped else start + deadline
     valuations = list(enumerate_valuations(db, extra_constants=extra_constants))
+    layout = _world_layout(db)
     # Evaluate the query on every possible world once.
     worlds: List[Tuple[Valuation, Set[Row]]] = []
     result_attrs: Optional[Tuple[str, ...]] = attributes
+    cancelled = False
     timed_out = False
     for v in valuations:
+        if cancel is not None and cancel.cancelled:
+            cancelled = True
+            if worlds:
+                break
         if cutoff is not None and worlds and time.monotonic() > cutoff:
             # Without every world no candidate can be *confirmed*
             # certain; the sound subset at this point is empty.  (The
@@ -150,50 +501,116 @@ def certain_answers_with_nulls(
             # keeps its attributes.)
             timed_out = True
             break
-        complete = v.apply_database(db)
+        complete = _apply_world(db, layout, v)
         answer = evaluate(query, complete, semantics="naive")
         if result_attrs is None:
             result_attrs = answer.attributes
         worlds.append((v, set(answer.rows)))
+        if cancelled:
+            break
     if result_attrs is None:  # pragma: no cover - no valuations is impossible
         raise RuntimeError("no valuations produced")
+    world_elapsed = time.monotonic() - start
+    if deadline is not None and search_scoped:
+        cutoff = start + world_elapsed + deadline
     arity = len(result_attrs)
     stats = SearchStats(
         arity=arity,
         pruned=prune,
         exhaustive_candidates=len(db.active_domain()) ** arity,
+        strategy=order,
+        world_elapsed=world_elapsed,
     )
-    if timed_out:
+    if timed_out or cancelled:
         stats.complete = False
+        stats.cancelled = cancelled
         stats.elapsed = time.monotonic() - start
-        LAST_SEARCH = stats
+        _SEARCH_LOG.stats = stats
         return Relation(result_attrs, [])
     if prune:
         # Seeding already enforces membership in the first world.
-        candidates = sorted(_seed_candidates(db, worlds[0]), key=repr)
+        candidates = _seed_candidates(db, worlds[0])
         remaining = worlds[1:]
     else:
         candidates = sorted(_candidate_tuples(db, arity), key=repr)
         remaining = worlds
     stats.candidates_considered = len(candidates)
-    certain = []
-    for candidate in candidates:
-        if cutoff is not None and time.monotonic() > cutoff:
-            # Every tuple already in ``certain`` survived all worlds, so
-            # returning early stays sound.
+    best_first = order == "best-first"
+    if best_first:
+        candidate_iter: Iterable[Tuple[Row, List[int]]] = _best_first_stream(
+            candidates, remaining, stats, cutoff, cancel
+        )
+    else:
+        candidate_iter = (
+            (c, [i for i, value in enumerate(c) if is_null(value)])
+            for c in candidates
+        )
+    # Mutable [kills, valuation, rows] entries so the rejecting-world
+    # queue can be promoted as worlds prove their kill power.
+    queue: List[List[object]] = [[0, v, rows] for v, rows in remaining]
+    certain: List[Row] = []
+    ticks = _CLOCK_EVERY  # first candidate reads the clock
+    for candidate, null_pos in candidate_iter:
+        if cancel is not None and cancel.cancelled:
             stats.complete = False
+            stats.cancelled = True
             break
+        if cutoff is not None:
+            ticks += 1
+            if ticks >= _CLOCK_EVERY:
+                ticks = 0
+                if time.monotonic() > cutoff:
+                    # Every tuple already in ``certain`` survived all
+                    # worlds, so returning early stays sound.
+                    stats.complete = False
+                    break
+        # Valuations are applied inline — ground candidates are a raw
+        # set lookup per world, null-bearing ones patch precomputed null
+        # positions through the valuation mapping — because this loop is
+        # the coNP-hard part and generic ``Valuation.apply_row`` costs
+        # several times a dict probe.
+        image = list(candidate)
         accepted = True
-        for v, rows in remaining:
-            stats.world_checks += 1
-            if v.apply_row(candidate) not in rows:
+        checks = 0
+        for index, entry in enumerate(queue):
+            if cancel is not None and cancel.cancelled:
+                stats.complete = False
+                stats.cancelled = True
                 accepted = False
                 break
+            checks += 1
+            if null_pos:
+                mapping = entry[1].mapping  # type: ignore[union-attr]
+                for i in null_pos:
+                    image[i] = mapping[candidate[i]]
+                hit = tuple(image) in entry[2]  # type: ignore[operator]
+            else:
+                hit = candidate in entry[2]  # type: ignore[operator]
+            if not hit:
+                entry[0] += 1  # type: ignore[operator]
+                accepted = False
+                if best_first and index:
+                    # Self-organising kill-rate order: move the killer to
+                    # the front so similar doomed candidates die at their
+                    # first check.  O(index) per promotion, and repeat
+                    # killers sit at index 0 where promotion is free.
+                    del queue[index]
+                    queue.insert(0, entry)
+                    stats.world_reorders += 1
+                break
+        stats.world_checks += checks
+        if stats.cancelled:
+            break
         if accepted:
             certain.append(candidate)
+            stats.emitted += 1
+            if progress is not None:
+                progress(candidate, stats)
     stats.elapsed = time.monotonic() - start
-    LAST_SEARCH = stats
-    return Relation(result_attrs, certain)
+    _SEARCH_LOG.stats = stats
+    # Canonical order regardless of exploration order: complete searches
+    # are row-identical across strategies, partial ones deterministic.
+    return Relation(result_attrs, sorted(certain, key=repr))
 
 
 def certain_answers(query: Expr, db: Database, **kwargs) -> Relation:

@@ -35,12 +35,15 @@ class Null:
         which is exactly how Codd nulls are produced.
     """
 
-    __slots__ = ("label",)
+    __slots__ = ("label", "_hash")
 
     def __init__(self, label: object = None):
         if label is None:
             label = next(_counter)
         self.label = label
+        # Cached: null hashes dominate world construction and candidate
+        # set probes in the brute-force certain-answer search.
+        self._hash = hash(("⊥", label))
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, Null) and self.label == other.label
@@ -49,7 +52,7 @@ class Null:
         return not self.__eq__(other)
 
     def __hash__(self) -> int:
-        return hash(("⊥", self.label))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"⊥{self.label}"

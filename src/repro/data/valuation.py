@@ -70,16 +70,17 @@ class Valuation:
 class _Fresh:
     """A constant guaranteed not to collide with database constants."""
 
-    __slots__ = ("tag",)
+    __slots__ = ("tag", "_hash")
 
     def __init__(self, tag: int):
         self.tag = tag
+        self._hash = hash(("fresh", tag))  # cached: hot in world answer sets
 
     def __eq__(self, other):
         return isinstance(other, _Fresh) and self.tag == other.tag
 
     def __hash__(self):
-        return hash(("fresh", self.tag))
+        return self._hash
 
     def __repr__(self):
         return f"c•{self.tag}"

@@ -30,6 +30,8 @@ from repro.engine.executor import (
 )
 from repro.engine.explain import explain_sql
 from repro.engine.limits import (
+    CancelToken,
+    QueryCancelled,
     QueryTimeout,
     ResourceError,
     ResourceLimits,
@@ -48,6 +50,8 @@ __all__ = [
     "ResourceError",
     "QueryTimeout",
     "RowBudgetExceeded",
+    "QueryCancelled",
+    "CancelToken",
     "NO_COMPILE_ENV",
     "compile_enabled",
 ]

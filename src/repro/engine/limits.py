@@ -11,7 +11,11 @@ without a deadline; this module supplies the vocabulary:
 * a structured exception hierarchy rooted at :class:`ResourceError`
   (itself an :class:`~repro.engine.scope.EngineError`, so existing
   blanket handlers keep working): :class:`QueryTimeout` for wall-clock
-  deadlines and :class:`RowBudgetExceeded` for row budgets;
+  deadlines, :class:`RowBudgetExceeded` for row budgets and
+  :class:`QueryCancelled` for cooperative cancellation;
+* :class:`CancelToken` — a one-shot flag another thread may fire to
+  abort an in-flight execution (or brute-force certain-answer search)
+  at its next governed checkpoint;
 * :class:`LimitGovernor` — the amortised run-time checker carried by
   ``ExecContext`` and consulted from the engine's row-iteration and
   hash/probe-build loops.
@@ -38,8 +42,50 @@ __all__ = [
     "ResourceError",
     "QueryTimeout",
     "RowBudgetExceeded",
+    "QueryCancelled",
+    "CancelToken",
     "LimitGovernor",
 ]
+
+
+class CancelToken:
+    """A one-shot cooperative cancellation flag, safe to fire cross-thread.
+
+    The worker attaches the token (``ResourceLimits(cancel=token)`` for
+    the engine, ``cancel=token`` on
+    :func:`~repro.certain.certain_answers_with_nulls` or
+    :func:`~repro.experiments.runner.run_tasks`); any other thread may
+    call :meth:`cancel` at any time.  Reading the flag is a plain
+    attribute load (atomic under the GIL), so the governed hot paths can
+    consult it at the same amortised cadence as the wall clock.  Tokens
+    never re-arm: once fired, every execution holding the token stops at
+    its next checkpoint, including future runs of a prepared statement —
+    use a fresh token per logical job.
+    """
+
+    __slots__ = ("_cancelled", "reason")
+
+    def __init__(self) -> None:
+        self._cancelled = False
+        self.reason: Optional[str] = None
+
+    def cancel(self, reason: Optional[str] = None) -> None:
+        """Fire the token (idempotent; the first reason wins)."""
+        if not self._cancelled:
+            self.reason = reason
+            self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def raise_if_cancelled(self) -> None:
+        if self._cancelled:
+            raise QueryCancelled(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"fired, reason={self.reason!r}" if self._cancelled else "armed"
+        return f"CancelToken({state})"
 
 
 class ResourceError(EngineError):
@@ -69,6 +115,15 @@ class RowBudgetExceeded(ResourceError):
         self.examined = examined
 
 
+class QueryCancelled(ResourceError):
+    """A :class:`CancelToken` fired while evaluation was in flight."""
+
+    def __init__(self, token: "CancelToken"):
+        detail = f": {token.reason}" if token.reason else ""
+        super().__init__(f"query cancelled by CancelToken{detail}")
+        self.token = token
+
+
 @dataclass(frozen=True)
 class ResourceLimits:
     """Caps on one execution.  ``None`` disables the corresponding cap.
@@ -94,12 +149,19 @@ class ResourceLimits:
         to memoized probing, equi-join indexes to linear probing of the
         filtered rows — with identical results, counted in
         ``ExecContext.degradations``.
+    ``cancel``
+        A :class:`CancelToken` another thread may fire; the next
+        governed checkpoint after firing raises
+        :class:`QueryCancelled`.  Unlike the deadline, the token is
+        *not* re-armed per run — a fired token also stops later runs of
+        the same prepared statement.
     """
 
     deadline_seconds: Optional[float] = None
     max_rows_examined: Optional[int] = None
     max_probe_build_rows: Optional[int] = None
     max_probe_table_bytes: Optional[int] = None
+    cancel: Optional[CancelToken] = None
 
     def __post_init__(self):
         for name in (
@@ -119,6 +181,7 @@ class ResourceLimits:
             and self.max_rows_examined is None
             and self.max_probe_build_rows is None
             and self.max_probe_table_bytes is None
+            and self.cancel is None
         )
 
 
@@ -133,35 +196,48 @@ class LimitGovernor:
     """Amortised enforcement of one :class:`ResourceLimits` bundle.
 
     The engine calls :meth:`check` once per row produced by a scan or
-    join step.  The row-budget comparison runs every call; the clock is
-    read on the first call after :meth:`arm` and every
-    :data:`CHECK_INTERVAL` calls thereafter, keeping the common case to
-    two attribute loads and an integer compare.
+    join step.  The row-budget comparison runs every call; the clock and
+    the cancellation token are read on the first call after :meth:`arm`
+    and every :data:`CHECK_INTERVAL` calls thereafter, keeping the
+    common case to two attribute loads and an integer compare.  A fired
+    :class:`CancelToken` therefore stops evaluation within one check
+    interval (at most the time it takes to examine 64 rows).
     """
 
-    __slots__ = ("limits", "_started", "_deadline", "_ticks")
+    __slots__ = ("limits", "_started", "_deadline", "_cancel", "_ticks")
 
     def __init__(self, limits: ResourceLimits):
         self.limits = limits
+        self._cancel = limits.cancel
         self.arm()
 
     def arm(self) -> None:
-        """(Re-)start the wall clock; called at the top of each run."""
+        """(Re-)start the wall clock; called at the top of each run.
+
+        The cancellation token is deliberately *not* reset — a token
+        fired between runs stops the next run at its first check.
+        """
         self._started = time.monotonic()
         deadline = self.limits.deadline_seconds
         self._deadline = None if deadline is None else self._started + deadline
-        self._ticks = CHECK_INTERVAL  # first check() reads the clock
+        self._ticks = CHECK_INTERVAL  # first check() reads clock + token
 
     def check(self, rows_consumed: int) -> None:
         budget = self.limits.max_rows_examined
         if budget is not None and rows_consumed > budget:
             raise RowBudgetExceeded(budget, rows_consumed)
-        if self._deadline is None:
+        if self._deadline is None and self._cancel is None:
             return
         self._ticks += 1
         if self._ticks < CHECK_INTERVAL:
             return
         self._ticks = 0
-        now = time.monotonic()
-        if now > self._deadline:
-            raise QueryTimeout(self.limits.deadline_seconds, now - self._started)
+        cancel = self._cancel
+        if cancel is not None and cancel.cancelled:
+            raise QueryCancelled(cancel)
+        if self._deadline is not None:
+            now = time.monotonic()
+            if now > self._deadline:
+                raise QueryTimeout(
+                    self.limits.deadline_seconds, now - self._started
+                )

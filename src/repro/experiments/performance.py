@@ -17,6 +17,7 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union as TUnion
 from repro.data.database import Database
 from repro.engine import Executor
 from repro.engine.executor import PLAN_CACHE
+from repro.engine.limits import CancelToken
 from repro.sql import ast
 from repro.sql.parser import parse_sql
 from repro.sql.rewrite import RewriteOptions, rewrite_certain
@@ -138,6 +139,7 @@ def run_price_of_correctness(
     retries: int = 1,
     backoff: float = 0.1,
     checkpoint: Optional[str] = None,
+    cancel: Optional[CancelToken] = None,
 ) -> Dict[str, List[Tuple[float, float]]]:
     """Return ``{query: [(null rate %, avg t+/t), …]}`` (Figure 4).
 
@@ -158,6 +160,12 @@ def run_price_of_correctness(
     stream.  Parallel/task runs draw each instance's parameters from an
     independent seeded stream, so results are deterministic per seed but
     differ from the serial stream.
+
+    ``cancel`` accepts a :class:`~repro.engine.limits.CancelToken`
+    another thread may fire (the CLI's ``--time-budget`` arms one on a
+    timer): the harness stops at the next instance boundary, keeps the
+    measurements (and checkpoint) completed so far, and reports
+    ``LAST_RUN.cancelled = True``.
     """
     global LAST_RUN
     null_rates = tuple(null_rates)
@@ -184,6 +192,7 @@ def run_price_of_correctness(
             backoff=backoff,
             checkpoint=checkpoint,
             rng=random.Random(rng.randrange(2**31)),
+            cancel=cancel,
         )
         for rate in null_rates:
             per_instance = [
@@ -204,6 +213,9 @@ def run_price_of_correctness(
     for rate in null_rates:
         ratios: Dict[str, List[float]] = {qid: [] for qid in query_ids}
         for _ in range(instances):
+            if cancel is not None and cancel.cancelled:
+                report.cancelled = True
+                break
             base = generate_instance(scale=scale, seed=rng.randrange(2**31))
             db = inject_nulls(base, rate, seed=rng.randrange(2**31))
             for qid in query_ids:
@@ -230,12 +242,14 @@ def main(
     task_timeout: Optional[float] = None,
     retries: int = 1,
     checkpoint: Optional[str] = None,
+    cancel: Optional[CancelToken] = None,
 ) -> str:
     series = run_price_of_correctness(
         workers=workers,
         task_timeout=task_timeout,
         retries=retries,
         checkpoint=checkpoint,
+        cancel=cancel,
     )
     text = render_series(
         "Figure 4 — average relative performance t(Q+)/t(Q) per null rate",
@@ -243,6 +257,12 @@ def main(
         series,
         y_format=format_ratio,
     )
+    if LAST_RUN.cancelled:
+        text += (
+            f"\ncancelled after {LAST_RUN.completed + LAST_RUN.resumed}"
+            f"/{LAST_RUN.total} instances"
+            + (f" ({cancel.reason})" if cancel is not None and cancel.reason else "")
+        )
     if LAST_RUN.failed_instances:
         failures = ", ".join(
             f"{f.key} ({f.error})" for f in LAST_RUN.failed_instances

@@ -16,7 +16,11 @@ that with per-task submission, adding:
 * incremental **JSON checkpointing**: after every completed task the
   result map is atomically rewritten to ``checkpoint``, and a later
   run with the same checkpoint file skips completed tasks (their
-  results are loaded instead of re-measured).
+  results are loaded instead of re-measured);
+* cooperative **cancellation** (``cancel``) — a
+  :class:`~repro.engine.limits.CancelToken` fired from another thread
+  stops the run at the next task boundary with the completed results
+  (and their checkpoint) intact, ``RunReport.cancelled = True``.
 
 Tasks are an ordered ``{key: payload}`` mapping; the worker callable
 must be picklable and return JSON-serialisable results (they round-trip
@@ -36,6 +40,8 @@ import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.engine.limits import CancelToken
 
 __all__ = ["TaskFailure", "RunReport", "run_tasks", "load_checkpoint"]
 
@@ -65,6 +71,9 @@ class RunReport:
     failed_instances: List[TaskFailure] = field(default_factory=list)
     #: harness-level samples dropped by quality guards (``t_orig > 0``)
     discarded_samples: int = 0
+    #: a ``cancel`` token fired mid-run; completed results (and their
+    #: checkpoint) were kept, remaining tasks were never attempted
+    cancelled: bool = False
 
     @property
     def failed(self) -> int:
@@ -97,6 +106,7 @@ def run_tasks(
     backoff: float = 0.1,
     checkpoint: Optional[str] = None,
     rng: Optional[random.Random] = None,
+    cancel: Optional[CancelToken] = None,
 ) -> Tuple[Dict[str, object], RunReport]:
     """Run ``worker`` over ``tasks``; return ``(results, report)``.
 
@@ -108,6 +118,14 @@ def run_tasks(
     generously relative to a single task's cost.  Without a timeout a
     crashed worker's task waits forever; always pair crash tolerance
     with ``task_timeout``.
+
+    ``cancel`` is consulted at every task boundary (before each serial
+    task, before each pool collection wait): once fired, no further
+    tasks are attempted, in-flight pool work is discarded, and the
+    already-completed results are returned with
+    ``report.cancelled = True``.  Because the checkpoint is rewritten
+    after every completion, a cancelled run with a ``checkpoint`` can be
+    resumed later from exactly where it stopped.
     """
     report = RunReport(total=len(tasks))
     rng = rng or random.Random(0)
@@ -137,6 +155,11 @@ def run_tasks(
             }
             queue = deque(pending)
             while queue:
+                if cancel is not None and cancel.cancelled:
+                    # Pool.__exit__ terminates the workers; completed
+                    # results (and their checkpoint) are already safe.
+                    report.cancelled = True
+                    break
                 key = queue.popleft()
                 try:
                     result = inflight[key].get(timeout=task_timeout)
@@ -163,6 +186,9 @@ def run_tasks(
         return results, report
 
     for key in pending:
+        if cancel is not None and cancel.cancelled:
+            report.cancelled = True
+            break
         for attempt in range(1, retries + 2):
             try:
                 result = worker(tasks[key])

@@ -11,6 +11,7 @@ from __future__ import annotations
 import random
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.engine.limits import CancelToken
 from repro.experiments.performance import rewritten_queries, time_query
 from repro.experiments.report import format_ratio, render_table
 from repro.experiments.runner import RunReport, run_tasks
@@ -72,6 +73,7 @@ def run_scaling_experiment(
     retries: int = 1,
     backoff: float = 0.1,
     checkpoint: Optional[str] = None,
+    cancel: Optional[CancelToken] = None,
 ) -> Dict[str, Dict[float, Tuple[float, float]]]:
     """Return ``{query: {scale: (min avg ratio, max avg ratio)}}``.
 
@@ -85,7 +87,9 @@ def run_scaling_experiment(
     (failures land in ``LAST_RUN.failed_instances`` keyed
     ``"<scale>:<rate>"``).  The default stays serial and bit-reproduces
     the historical parameter stream unless a ``checkpoint`` routes it
-    through the task runner.
+    through the task runner.  ``cancel`` stops the harness at the next
+    (scale, rate) cell boundary with completed measurements intact, as
+    in :func:`~repro.experiments.performance.run_price_of_correctness`.
     """
     global LAST_RUN
     scales = tuple(scales)
@@ -113,6 +117,7 @@ def run_scaling_experiment(
             backoff=backoff,
             checkpoint=checkpoint,
             rng=random.Random(rng.randrange(2**31)),
+            cancel=cancel,
         )
         for scale in scales:
             cells = [
@@ -135,6 +140,9 @@ def run_scaling_experiment(
     for scale in scales:
         per_rate: Dict[str, List[float]] = {q: [] for q in query_ids}
         for rate in null_rates:
+            if cancel is not None and cancel.cancelled:
+                report.cancelled = True
+                break
             base = generate_instance(
                 scale=scale * base_scale, seed=rng.randrange(2**31)
             )
@@ -166,12 +174,14 @@ def main(
     task_timeout: Optional[float] = None,
     retries: int = 1,
     checkpoint: Optional[str] = None,
+    cancel: Optional[CancelToken] = None,
 ) -> str:
     results = run_scaling_experiment(
         workers=workers,
         task_timeout=task_timeout,
         retries=retries,
         checkpoint=checkpoint,
+        cancel=cancel,
     )
     scales = sorted({s for per in results.values() for s in per})
     header = ["Query"] + [f"{s:g}x" for s in scales]
@@ -189,6 +199,12 @@ def main(
         header,
         rows,
     )
+    if LAST_RUN.cancelled:
+        text += (
+            f"\ncancelled after {LAST_RUN.completed + LAST_RUN.resumed}"
+            f"/{LAST_RUN.total} cells"
+            + (f" ({cancel.reason})" if cancel is not None and cancel.reason else "")
+        )
     if LAST_RUN.failed_instances:
         failures = ", ".join(
             f"{f.key} ({f.error})" for f in LAST_RUN.failed_instances
